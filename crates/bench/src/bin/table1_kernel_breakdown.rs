@@ -1,0 +1,94 @@
+//! Reproduces **Table I**: per-kernel share of sequential execution time.
+//!
+//! Paper input: 124×64×64 fluid grid, 52×52 fiber nodes, 500 time steps
+//! (967 s total on their AMD Opteron). Default here: the same grid with a
+//! reduced step count (the percentage breakdown stabilises after a handful
+//! of steps); pass `--full` for the paper's 500 steps.
+//!
+//! Usage: `table1_kernel_breakdown [--steps N] [--shrink S] [--full]`
+
+use lbm_ib::profiling::KernelId;
+use lbm_ib::{SequentialSolver, SimulationConfig};
+use lbm_ib_bench::{timed, Args, PAPER_TABLE1};
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let shrink: usize = args.get_or("shrink", 1);
+    let steps: u64 = if full { 500 } else { args.get_or("steps", 10) };
+
+    let mut config = SimulationConfig::table1();
+    if shrink > 1 {
+        config.nx = (config.nx / shrink / 4).max(2) * 4;
+        config.ny = (config.ny / shrink / 4).max(2) * 4;
+        config.nz = (config.nz / shrink / 4).max(2) * 4;
+        let n = (52 / shrink).max(4);
+        config.sheet = lbm_ib::SheetConfig::square(
+            n,
+            (20.0 / shrink as f64).max(2.0),
+            [config.nx as f64 / 4.0, config.ny as f64 / 2.0, config.nz as f64 / 2.0],
+        );
+    }
+    config.validate().expect("config");
+
+    println!("Table I reproduction: sequential LBM-IB kernel breakdown");
+    println!(
+        "input: {}x{}x{} fluid, {}x{} fiber nodes, {} steps{}",
+        config.nx,
+        config.ny,
+        config.nz,
+        config.sheet.num_fibers,
+        config.sheet.nodes_per_fiber,
+        steps,
+        if full { " (paper-scale)" } else { "" }
+    );
+
+    let mut solver = SequentialSolver::new(config);
+    let (_, secs) = timed(|| solver.run(steps));
+    println!("total execution time = {secs:.2} s\n");
+
+    let measured = solver.profile.ranked();
+    println!(
+        "{:<6} {:<36} {:>10} {:>10}",
+        "Kernel", "Kernel Name", "measured%", "paper%"
+    );
+    println!("{}", lbm_ib_bench::rule(66));
+    for (k, _, pct) in &measured {
+        let paper = PAPER_TABLE1
+            .iter()
+            .find(|r| r.0 == k.paper_number())
+            .map(|r| r.2)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<6} {:<36} {:>9.2}% {:>9.2}%",
+            format!("{})", k.paper_number()),
+            k.paper_name(),
+            pct,
+            paper
+        );
+    }
+
+    // Shape checks the paper's narrative rests on: the kernels that visit
+    // every fluid node dominate, the fiber kernels are negligible.
+    let pct = |k: KernelId| measured.iter().find(|r| r.0 == k).map(|r| r.2).unwrap();
+    let fluid4 = pct(KernelId::Collision)
+        + pct(KernelId::UpdateVelocity)
+        + pct(KernelId::CopyDistributions)
+        + pct(KernelId::Stream);
+    println!("\nshape checks (paper narrative):");
+    println!("  4 fluid-node kernels (5,6,7,9) >= 90%: {} ({fluid4:.1}%)", fluid4 >= 90.0);
+    let fiber = pct(KernelId::BendingForce) + pct(KernelId::StretchingForce) + pct(KernelId::ElasticForce);
+    println!("  fiber force kernels (1,2,3) <= 2%:     {} ({fiber:.2}%)", fiber <= 2.0);
+    println!(
+        "  collision among top-2 kernels:         {} ({:.1}%)",
+        measured[..2].iter().any(|r| r.0 == KernelId::Collision),
+        pct(KernelId::Collision)
+    );
+    println!(
+        "\nnote: the paper's 2012-era cores made the flop-heavy collision kernel 73%\n\
+         of run time; on modern hardware the vectorised collision is several times\n\
+         leaner while the scattered-write streaming kernel is memory-latency bound,\n\
+         so the ordering *within* the fluid kernels shifts. The paper's argument —\n\
+         every-fluid-node kernels dominate and must be parallelised — is unchanged."
+    );
+}

@@ -1,0 +1,372 @@
+//! Memory-trace generators replaying the access patterns of the four
+//! fluid-dominant LBM-IB kernels (collision, streaming, velocity update,
+//! buffer copy — 97% of the run time per Table I) on both storage layouts.
+//!
+//! The trace is what one *thread* touches during one time step: the flat
+//! layout walks its x-slab once per kernel (the OpenMP version), the cube
+//! layout walks its cubes with collision and streaming fused per cube
+//! (loop 2 of Algorithm 4). Fiber kernels are omitted: they account for
+//! ~2% of accesses at the paper's sheet sizes.
+//!
+//! Address map: the fluid arrays are laid out back to back in one virtual
+//! allocation, elements of 8 bytes, matching the solver structs.
+
+use lbm::cube_grid::CubeDims;
+use lbm::grid::Dims;
+use lbm::lattice::{E, Q};
+
+use crate::hierarchy::Hierarchy;
+
+/// Byte-address map of the fluid arrays for a grid of `n` nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryMap {
+    n: u64,
+    base_f: u64,
+    base_f_new: u64,
+    base_rho: u64,
+    base_u: u64,   // ux, uy, uz consecutive arrays
+    base_ueq: u64, // ueqx..z
+    base_force: u64, // fx..z
+}
+
+impl MemoryMap {
+    /// Builds the map for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let n = n as u64;
+        let f_bytes = n * Q as u64 * 8;
+        let s_bytes = n * 8;
+        let base_f = 0;
+        let base_f_new = base_f + f_bytes;
+        let base_rho = base_f_new + f_bytes;
+        let base_u = base_rho + s_bytes;
+        let base_ueq = base_u + 3 * s_bytes;
+        let base_force = base_ueq + 3 * s_bytes;
+        Self { n, base_f, base_f_new, base_rho, base_u, base_ueq, base_force }
+    }
+
+    #[inline]
+    pub fn f(&self, node: usize, dir: usize) -> u64 {
+        self.base_f + (node as u64 * Q as u64 + dir as u64) * 8
+    }
+    #[inline]
+    pub fn f_new(&self, node: usize, dir: usize) -> u64 {
+        self.base_f_new + (node as u64 * Q as u64 + dir as u64) * 8
+    }
+    #[inline]
+    pub fn rho(&self, node: usize) -> u64 {
+        self.base_rho + node as u64 * 8
+    }
+    #[inline]
+    pub fn u(&self, axis: usize, node: usize) -> u64 {
+        self.base_u + (axis as u64 * self.n + node as u64) * 8
+    }
+    #[inline]
+    pub fn ueq(&self, axis: usize, node: usize) -> u64 {
+        self.base_ueq + (axis as u64 * self.n + node as u64) * 8
+    }
+    #[inline]
+    pub fn force(&self, axis: usize, node: usize) -> u64 {
+        self.base_force + (axis as u64 * self.n + node as u64) * 8
+    }
+}
+
+/// Emits the collision accesses for one node (kernel 5): macroscopic reads,
+/// then a read-modify-write of the 19 populations.
+#[inline]
+fn emit_collision(map: &MemoryMap, node: usize, emit: &mut impl FnMut(u64)) {
+    emit(map.rho(node));
+    for a in 0..3 {
+        emit(map.ueq(a, node));
+    }
+    for i in 0..Q {
+        emit(map.f(node, i));
+        emit(map.f(node, i)); // write back
+    }
+}
+
+/// Emits the push-streaming accesses for one node (kernel 6): read each
+/// population, write it into the (periodically wrapped) neighbour's slot.
+#[inline]
+fn emit_stream(
+    map: &MemoryMap,
+    dims: Dims,
+    node_of: &impl Fn(usize, usize, usize) -> usize,
+    x: usize,
+    y: usize,
+    z: usize,
+    node: usize,
+    emit: &mut impl FnMut(u64),
+) {
+    emit(map.f(node, 0));
+    emit(map.f_new(node, 0));
+    for (i, e) in E.iter().enumerate().skip(1) {
+        emit(map.f(node, i));
+        let (xn, yn, zn) = dims.wrap(x, y, z, e[0], e[1], e[2]);
+        emit(map.f_new(node_of(xn, yn, zn), i));
+    }
+}
+
+/// Emits the velocity-update accesses for one node (kernel 7).
+#[inline]
+fn emit_update(map: &MemoryMap, node: usize, emit: &mut impl FnMut(u64)) {
+    for i in 0..Q {
+        emit(map.f_new(node, i));
+    }
+    for a in 0..3 {
+        emit(map.force(a, node));
+    }
+    emit(map.rho(node));
+    for a in 0..3 {
+        emit(map.u(a, node));
+        emit(map.ueq(a, node));
+    }
+}
+
+/// Emits the buffer-copy accesses for one node (kernel 9).
+#[inline]
+fn emit_copy(map: &MemoryMap, node: usize, emit: &mut impl FnMut(u64)) {
+    for i in 0..Q {
+        emit(map.f_new(node, i));
+        emit(map.f(node, i));
+    }
+}
+
+/// One time step of the OpenMP (flat, node-major) layout for the thread
+/// owning the x-planes `x_range`: four separate whole-slab passes.
+pub fn flat_step_trace(dims: Dims, x_range: std::ops::Range<usize>, mut emit: impl FnMut(u64)) {
+    let map = MemoryMap::new(dims.n());
+    let node_of = |x: usize, y: usize, z: usize| dims.idx(x, y, z);
+    // Kernel 5.
+    for x in x_range.clone() {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                emit_collision(&map, dims.idx(x, y, z), &mut emit);
+            }
+        }
+    }
+    // Kernel 6.
+    for x in x_range.clone() {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let node = dims.idx(x, y, z);
+                emit_stream(&map, dims, &node_of, x, y, z, node, &mut emit);
+            }
+        }
+    }
+    // Kernel 7.
+    for x in x_range.clone() {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                emit_update(&map, dims.idx(x, y, z), &mut emit);
+            }
+        }
+    }
+    // Kernel 9.
+    for x in x_range {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                emit_copy(&map, dims.idx(x, y, z), &mut emit);
+            }
+        }
+    }
+}
+
+/// One time step of the cube-centric layout for the thread owning `cubes`:
+/// collision and streaming fused per cube (loop 2 of Algorithm 4), then a
+/// cube loop for the update, then a cube loop for the copy.
+pub fn cube_step_trace(cdims: CubeDims, cubes: &[usize], mut emit: impl FnMut(u64)) {
+    let dims = cdims.dims;
+    let map = MemoryMap::new(dims.n());
+    let npc = cdims.nodes_per_cube();
+    let node_of = |x: usize, y: usize, z: usize| cdims.flat_of_global(x, y, z);
+    // Loop 2: collide + stream per cube.
+    for &cube in cubes {
+        for local in 0..npc {
+            emit_collision(&map, cdims.flat(cube, local), &mut emit);
+        }
+        for local in 0..npc {
+            let node = cdims.flat(cube, local);
+            let (x, y, z) = cdims.join(cube, local);
+            emit_stream(&map, dims, &node_of, x, y, z, node, &mut emit);
+        }
+    }
+    // Loop 3: update per cube.
+    for &cube in cubes {
+        for local in 0..npc {
+            emit_update(&map, cdims.flat(cube, local), &mut emit);
+        }
+    }
+    // Loop 5: copy per cube.
+    for &cube in cubes {
+        for local in 0..npc {
+            emit_copy(&map, cdims.flat(cube, local), &mut emit);
+        }
+    }
+}
+
+/// Result of replaying a trace through the hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct MissReport {
+    pub accesses: u64,
+    pub l1_miss_percent: f64,
+    pub l2_miss_percent: f64,
+    /// Absolute L1 miss count (= L2 demand accesses).
+    pub l1_misses: u64,
+    /// Absolute L2 demand miss count — the DRAM-traffic quantity the
+    /// paper's memory-bandwidth argument is about (each is a 64-byte line
+    /// fetch on the memory bus).
+    pub l2_misses: u64,
+}
+
+impl MissReport {
+    /// Rescales the L1 miss rate by a dynamic-access multiplier.
+    ///
+    /// The trace generator emits each scalar access once, whereas a
+    /// hardware counter (the paper used PAPI) counts every dynamic load and
+    /// store the compiled code issues — temporaries, spills, address
+    /// arithmetic — which all hit L1. Those extra accesses dilute the L1
+    /// miss *rate* without changing the number of L1 misses, so L2 traffic
+    /// and the L2 miss rate are unaffected. The Table II harness calibrates
+    /// `r` so the single-core L1 rate matches the paper's 1.75%.
+    pub fn with_access_multiplier(self, r: f64) -> MissReport {
+        assert!(r >= 1.0);
+        MissReport {
+            accesses: (self.accesses as f64 * r) as u64,
+            l1_miss_percent: self.l1_miss_percent / r,
+            ..self
+        }
+    }
+}
+
+/// Replays `steps` flat-layout time steps (one thread's slab) through a
+/// fresh `thog` hierarchy and reports miss rates. `l2_sharers` models how
+/// many active cores share the L2 (1 on a single-core run, 2 otherwise).
+pub fn simulate_flat(
+    dims: Dims,
+    x_range: std::ops::Range<usize>,
+    l2_sharers: usize,
+    steps: usize,
+) -> MissReport {
+    let mut h = Hierarchy::thog(l2_sharers);
+    for _ in 0..steps {
+        flat_step_trace(dims, x_range.clone(), |a| h.access(a));
+    }
+    MissReport {
+        accesses: h.l1.accesses(),
+        l1_miss_percent: h.l1_miss_percent(),
+        l2_miss_percent: h.l2_miss_percent(),
+        l1_misses: h.l1.misses,
+        l2_misses: h.l2.misses,
+    }
+}
+
+/// Replays `steps` cube-layout time steps (one thread's cube set) through a
+/// fresh `thog` hierarchy and reports miss rates.
+pub fn simulate_cube(cdims: CubeDims, cubes: &[usize], l2_sharers: usize, steps: usize) -> MissReport {
+    let mut h = Hierarchy::thog(l2_sharers);
+    for _ in 0..steps {
+        cube_step_trace(cdims, cubes, |a| h.access(a));
+    }
+    MissReport {
+        accesses: h.l1.accesses(),
+        l1_miss_percent: h.l1_miss_percent(),
+        l2_miss_percent: h.l2_miss_percent(),
+        l1_misses: h.l1.misses,
+        l2_misses: h.l2.misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_map_arrays_are_disjoint() {
+        let n = 100;
+        let m = MemoryMap::new(n);
+        // Last byte of f < first of f_new, etc.
+        assert!(m.f(n - 1, Q - 1) + 8 <= m.f_new(0, 0));
+        assert!(m.f_new(n - 1, Q - 1) + 8 <= m.rho(0));
+        assert!(m.rho(n - 1) + 8 <= m.u(0, 0));
+        assert!(m.u(2, n - 1) + 8 <= m.ueq(0, 0));
+        assert!(m.ueq(2, n - 1) + 8 <= m.force(0, 0));
+    }
+
+    #[test]
+    fn access_counts_match_kernel_model() {
+        let dims = Dims::new(8, 8, 8);
+        let mut count = 0u64;
+        flat_step_trace(dims, 0..8, |_| count += 1);
+        // Per node: collision 4+38, stream 38, update 29, copy 38 = 147.
+        assert_eq!(count, 147 * 512);
+    }
+
+    #[test]
+    fn cube_trace_touches_same_multiset_of_kernel_work() {
+        // Same access count as flat for the same node set.
+        let dims = Dims::new(8, 8, 8);
+        let cdims = CubeDims::new(dims, 4);
+        let mut flat_count = 0u64;
+        flat_step_trace(dims, 0..8, |_| flat_count += 1);
+        let cubes: Vec<usize> = (0..cdims.num_cubes()).collect();
+        let mut cube_count = 0u64;
+        cube_step_trace(cdims, &cubes, |_| cube_count += 1);
+        assert_eq!(flat_count, cube_count);
+    }
+
+    #[test]
+    fn cube_layout_beats_flat_at_l1() {
+        // Cube-blocked storage keeps the streaming writes inside small
+        // contiguous blocks, reusing L1 lines the flat layout scatters.
+        let dims = Dims::new(16, 16, 16);
+        let r = simulate_flat(dims, 0..16, 1, 2);
+        let cdims = CubeDims::new(dims, 4);
+        let cubes: Vec<usize> = (0..cdims.num_cubes()).collect();
+        let rc = simulate_cube(cdims, &cubes, 1, 2);
+        assert!(
+            rc.l1_miss_percent < r.l1_miss_percent,
+            "cube {} vs flat {}",
+            rc.l1_miss_percent,
+            r.l1_miss_percent
+        );
+        assert!(r.l1_miss_percent < 35.0, "flat L1 {}", r.l1_miss_percent);
+    }
+
+    #[test]
+    fn access_multiplier_calibrates_l1_only() {
+        let dims = Dims::new(16, 16, 16);
+        let r = simulate_flat(dims, 0..16, 1, 2);
+        let c = r.with_access_multiplier(14.0);
+        assert!((c.l1_miss_percent - r.l1_miss_percent / 14.0).abs() < 1e-12);
+        assert_eq!(c.l2_miss_percent, r.l2_miss_percent);
+        // In the paper's regime the calibrated L1 rate lands near 1.75%.
+        assert!(c.l1_miss_percent < 3.0, "{}", c.l1_miss_percent);
+        assert!(c.l1_miss_percent > 0.5, "{}", c.l1_miss_percent);
+    }
+
+    #[test]
+    fn cube_layout_has_no_worse_l2_miss_rate_at_scale() {
+        // A slab too big for L2: the flat version reloads it per kernel
+        // pass; the cube version reuses each cube within loop 2.
+        let dims = Dims::new(32, 48, 48); // ~21 MB of fluid state
+        let r_flat = simulate_flat(dims, 0..32, 2, 2);
+        let cdims = CubeDims::new(dims, 4);
+        let cubes: Vec<usize> = (0..cdims.num_cubes()).collect();
+        let r_cube = simulate_cube(cdims, &cubes, 2, 2);
+        assert!(
+            r_cube.l2_miss_percent <= r_flat.l2_miss_percent + 1.0,
+            "cube {} vs flat {}",
+            r_cube.l2_miss_percent,
+            r_flat.l2_miss_percent
+        );
+    }
+
+    #[test]
+    fn sharing_l2_does_not_reduce_miss_rate() {
+        let dims = Dims::new(16, 32, 32);
+        let full = simulate_flat(dims, 0..16, 1, 2);
+        let shared = simulate_flat(dims, 0..16, 2, 2);
+        assert!(shared.l2_miss_percent >= full.l2_miss_percent - 0.5,
+            "shared {} vs full {}", shared.l2_miss_percent, full.l2_miss_percent);
+    }
+}

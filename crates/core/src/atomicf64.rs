@@ -1,0 +1,141 @@
+//! Atomic `f64` accumulation for the OpenMP-style solver's force spreading.
+//!
+//! Adjacent fiber nodes on different threads can target the same fluid node
+//! in kernel 4, so the parallel scatter needs atomic adds. Rust (like C++)
+//! has no native atomic f64 add; the standard technique is a
+//! compare-exchange loop over the bit pattern in an `AtomicU64`
+//! (see *Rust Atomics and Locks*, ch. 2–3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` supporting lock-free atomic addition.
+#[repr(transparent)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates a new atomic with the given value.
+    pub fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically adds `v` via a CAS loop. Relaxed ordering is sufficient:
+    /// the spreading phase only needs atomicity per slot; cross-phase
+    /// visibility is established by the join/barrier that ends the phase.
+    #[inline]
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Reinterprets an exclusive `f64` slice as a shared slice of [`AtomicF64`].
+///
+/// Sound because: (1) `AtomicF64` is `repr(transparent)` over `AtomicU64`,
+/// which has the same size and alignment as `u64`/`f64`; (2) the `&mut`
+/// input guarantees no other live references alias the data for the
+/// returned lifetime; (3) all access through the result is atomic.
+/// This is the zero-copy bridge that lets the parallel spread write into
+/// the grid's ordinary `Vec<f64>` force arrays.
+pub fn as_atomic_f64(slice: &mut [f64]) -> &[AtomicF64] {
+    const _: () = assert!(std::mem::size_of::<AtomicF64>() == std::mem::size_of::<f64>());
+    const _: () = assert!(std::mem::align_of::<AtomicF64>() == std::mem::align_of::<f64>());
+    let len = slice.len();
+    let ptr = slice.as_mut_ptr() as *const AtomicF64;
+    // SAFETY: size/align match (checked above), exclusivity from &mut,
+    // atomics permit shared mutation.
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_load_store_add() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.0);
+        assert_eq!(a.load(), -2.0);
+        let prev = a.fetch_add(0.5);
+        assert_eq!(prev, -2.0);
+        assert_eq!(a.load(), -1.5);
+    }
+
+    #[test]
+    fn handles_special_values() {
+        let a = AtomicF64::new(0.0);
+        a.fetch_add(f64::INFINITY);
+        assert_eq!(a.load(), f64::INFINITY);
+        let b = AtomicF64::new(-0.0);
+        assert_eq!(b.load(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_adds_lose_nothing() {
+        use std::sync::Arc;
+        let a = Arc::new(AtomicF64::new(0.0));
+        let threads = 8;
+        let adds_per_thread = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..adds_per_thread {
+                        a.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(), (threads * adds_per_thread) as f64);
+    }
+
+    #[test]
+    fn atomic_view_of_plain_slice() {
+        let mut data = vec![1.0, 2.0, 3.0];
+        {
+            let view = as_atomic_f64(&mut data);
+            view[0].fetch_add(10.0);
+            view[2].store(0.5);
+        }
+        assert_eq!(data, vec![11.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn concurrent_adds_through_view() {
+        let mut data = vec![0.0f64; 4];
+        let view = as_atomic_f64(&mut data);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let view = &view;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        view[(t + i) % 4].fetch_add(1.0);
+                    }
+                });
+            }
+        });
+        let total: f64 = data.iter().sum();
+        assert_eq!(total, 4000.0);
+    }
+}

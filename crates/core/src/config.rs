@@ -1,0 +1,374 @@
+//! Simulation configuration: the "create the input" step of Section III-A,
+//! with validation and the paper's benchmark presets.
+
+use ib::delta::DeltaKind;
+use ib::sheet::FiberSheet;
+use ib::tether::TetherSet;
+use lbm::boundary::{AxisBoundary, BoundaryConfig};
+use lbm::collision::Relaxation;
+use lbm::grid::Dims;
+use serde::{Deserialize, Serialize};
+
+/// How (and whether) the sheet is anchored.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TetherConfig {
+    /// Free sheet (the moving sheet of Figures 7/8).
+    None,
+    /// Pinned in the middle region (the fastened plate of Figure 1).
+    CenterRegion { radius: f64, stiffness: f64 },
+    /// Pinned along the leading edge (flag-like).
+    LeadingEdge { stiffness: f64 },
+}
+
+/// Geometry and material of the immersed fiber sheet.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SheetConfig {
+    /// Number of fibers (and, for the paper's square sheets, nodes per
+    /// fiber; the struct allows rectangles).
+    pub num_fibers: usize,
+    pub nodes_per_fiber: usize,
+    /// Physical side lengths in lattice units (across fibers × along fibers).
+    pub width: f64,
+    pub height: f64,
+    /// Centre of the sheet in the fluid box.
+    pub center: [f64; 3],
+    pub k_bend: f64,
+    pub k_stretch: f64,
+    pub tether: TetherConfig,
+}
+
+impl SheetConfig {
+    /// The paper's square sheet: `n × n` fiber nodes over `extent × extent`.
+    pub fn square(n: usize, extent: f64, center: [f64; 3]) -> Self {
+        Self {
+            num_fibers: n,
+            nodes_per_fiber: n,
+            width: extent,
+            height: extent,
+            center,
+            k_bend: 1e-3,
+            k_stretch: 3e-2,
+            tether: TetherConfig::None,
+        }
+    }
+
+    /// Builds the sheet and its tethers.
+    pub fn build(&self) -> (FiberSheet, TetherSet) {
+        let ds_node = self.height / (self.nodes_per_fiber.max(2) - 1) as f64;
+        let ds_fiber = self.width / (self.num_fibers.max(2) - 1) as f64;
+        let origin = [
+            self.center[0],
+            self.center[1] - self.height / 2.0,
+            self.center[2] - self.width / 2.0,
+        ];
+        let sheet = FiberSheet::flat(
+            self.num_fibers,
+            self.nodes_per_fiber,
+            origin,
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            ds_node,
+            ds_fiber,
+            self.k_bend,
+            self.k_stretch,
+        );
+        let tethers = match self.tether {
+            TetherConfig::None => TetherSet::none(),
+            TetherConfig::CenterRegion { radius, stiffness } => {
+                TetherSet::center_region(&sheet, radius, stiffness)
+            }
+            TetherConfig::LeadingEdge { stiffness } => TetherSet::leading_edge(&sheet, stiffness),
+        };
+        (sheet, tethers)
+    }
+}
+
+/// Full configuration of a coupled LBM-IB simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Fluid grid dimensions.
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// BGK relaxation time.
+    pub tau: f64,
+    /// Uniform driving force (the tunnel's pressure-gradient surrogate).
+    pub body_force: [f64; 3],
+    /// Boundary configuration.
+    pub bc: BoundaryConfig,
+    /// Delta kernel for the fluid–structure coupling.
+    pub delta: DeltaKind,
+    /// The immersed structure.
+    pub sheet: SheetConfig,
+    /// Cube edge for the cube-centric solver (must divide nx, ny, nz).
+    pub cube_k: usize,
+}
+
+/// A configuration problem found by [`SimulationConfig::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SimulationConfig {
+    /// Grid dimensions as a [`Dims`].
+    pub fn dims(&self) -> Dims {
+        Dims::new(self.nx, self.ny, self.nz)
+    }
+
+    /// Relaxation parameters.
+    pub fn relaxation(&self) -> Relaxation {
+        Relaxation::new(self.tau)
+    }
+
+    /// Checks physical and geometric sanity. Returns all problems found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut problems = Vec::new();
+        if self.tau <= 0.5 {
+            problems.push(format!("tau = {} must exceed 0.5", self.tau));
+        }
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            problems.push("grid extents must be positive".to_string());
+        }
+        if self.cube_k == 0
+            || self.nx % self.cube_k != 0
+            || self.ny % self.cube_k != 0
+            || self.nz % self.cube_k != 0
+        {
+            problems.push(format!(
+                "cube edge {} must divide grid {}x{}x{}",
+                self.cube_k, self.nx, self.ny, self.nz
+            ));
+        }
+        if self.sheet.num_fibers < 2 || self.sheet.nodes_per_fiber < 2 {
+            problems.push("sheet needs at least 2x2 fiber nodes".to_string());
+        }
+        // The sheet (plus the delta support) must fit inside the box; on
+        // wall axes force would otherwise leak through the clipping.
+        let margin = self.delta.half_support();
+        let half = [0.0, self.sheet.height / 2.0, self.sheet.width / 2.0];
+        let ext = [self.nx as f64, self.ny as f64, self.nz as f64];
+        let walls = [
+            !matches!(self.bc.x, AxisBoundary::Periodic),
+            !matches!(self.bc.y, AxisBoundary::Periodic),
+            !matches!(self.bc.z, AxisBoundary::Periodic),
+        ];
+        for a in 0..3 {
+            let lo = self.sheet.center[a] - half[a];
+            let hi = self.sheet.center[a] + half[a];
+            if walls[a] && (lo < margin || hi > ext[a] - 1.0 - margin) {
+                problems.push(format!(
+                    "sheet spans [{lo}, {hi}] on axis {a}, too close to the walls (margin {margin})"
+                ));
+            }
+            if lo < -ext[a] || hi > 2.0 * ext[a] {
+                problems.push(format!("sheet wildly outside the box on axis {a}"));
+            }
+        }
+        // Crude velocity-scale check: a steady channel driven by g reaches
+        // u_max = g ny² / (8 ν); keep it below ~0.1 c_s for stability.
+        let nu = (self.tau - 0.5) / 3.0;
+        let g = self.body_force.iter().map(|c| c.abs()).fold(0.0, f64::max);
+        let umax = g * (self.ny as f64) * (self.ny as f64) / (8.0 * nu);
+        if umax > 0.17 {
+            problems.push(format!(
+                "body force {g} implies steady channel velocity {umax:.3} — unstable (reduce g or grid)"
+            ));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigError(problems.join("; ")))
+        }
+    }
+
+    /// A small, fast configuration for unit and integration tests.
+    pub fn quick_test() -> Self {
+        Self {
+            nx: 24,
+            ny: 16,
+            nz: 16,
+            tau: 0.8,
+            body_force: [1e-6, 0.0, 0.0],
+            bc: BoundaryConfig::tunnel(),
+            delta: DeltaKind::Peskin4,
+            sheet: SheetConfig {
+                k_bend: 1e-4,
+                k_stretch: 1e-2,
+                ..SheetConfig::square(8, 4.0, [8.0, 8.0, 8.0])
+            },
+            cube_k: 4,
+        }
+    }
+
+    /// The Table I / Figure 5 input: 124×64×64 fluid nodes, a 20×20 sheet
+    /// of 52×52 fiber nodes. (124 = 4·31, so the default cube edge is 4.)
+    pub fn table1() -> Self {
+        Self {
+            nx: 124,
+            ny: 64,
+            nz: 64,
+            tau: 0.8,
+            body_force: [5e-7, 0.0, 0.0],
+            bc: BoundaryConfig::tunnel(),
+            delta: DeltaKind::Peskin4,
+            sheet: SheetConfig {
+                tether: TetherConfig::CenterRegion { radius: 5.0, stiffness: 5e-2 },
+                ..SheetConfig::square(52, 20.0, [30.0, 32.0, 32.0])
+            },
+            cube_k: 4,
+        }
+    }
+
+    /// The Figure 8 weak-scaling input for a given core count: the
+    /// single-core grid is 128³ and doubles with the cores
+    /// (x first, then y, then z, as in the paper), sheet fixed at 104×104
+    /// fiber nodes.
+    pub fn fig8(cores: usize) -> Self {
+        assert!(cores.is_power_of_two() && cores >= 1, "cores must be a power of two");
+        let mut dims = [128usize, 128, 128];
+        let mut c = cores;
+        let mut axis = 0;
+        while c > 1 {
+            dims[axis] *= 2;
+            axis = (axis + 1) % 3;
+            c /= 2;
+        }
+        Self {
+            nx: dims[0],
+            ny: dims[1],
+            nz: dims[2],
+            tau: 0.8,
+            body_force: [2e-8, 0.0, 0.0],
+            bc: BoundaryConfig::tunnel(),
+            delta: DeltaKind::Peskin4,
+            sheet: SheetConfig::square(
+                104,
+                40.0,
+                [dims[0] as f64 / 4.0, dims[1] as f64 / 2.0, dims[2] as f64 / 2.0],
+            ),
+            cube_k: 4,
+        }
+    }
+
+    /// Like [`SimulationConfig::fig8`] but scaled down by `shrink` along
+    /// every dimension, for machines where a 128³ × cores run is too slow.
+    pub fn fig8_scaled(cores: usize, shrink: usize) -> Self {
+        let mut c = Self::fig8(cores);
+        c.nx = (c.nx / shrink).max(c.cube_k * 2);
+        c.ny = (c.ny / shrink).max(c.cube_k * 2);
+        c.nz = (c.nz / shrink).max(c.cube_k * 2);
+        let n = (104 / shrink).max(8);
+        c.sheet = SheetConfig::square(
+            n,
+            (40.0 / shrink as f64).max(4.0),
+            [c.nx as f64 / 4.0, c.ny as f64 / 2.0, c.nz as f64 / 2.0],
+        );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SimulationConfig::quick_test().validate().unwrap();
+        SimulationConfig::table1().validate().unwrap();
+        for cores in [1, 2, 4, 8, 16, 32, 64] {
+            SimulationConfig::fig8(cores).validate().unwrap();
+            SimulationConfig::fig8_scaled(cores, 8).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_input() {
+        let c = SimulationConfig::table1();
+        assert_eq!((c.nx, c.ny, c.nz), (124, 64, 64));
+        assert_eq!(c.sheet.num_fibers, 52);
+        assert_eq!(c.sheet.nodes_per_fiber, 52);
+        assert!((c.sheet.width - 20.0).abs() < 1e-12);
+        let (sheet, tethers) = c.sheet.build();
+        assert_eq!(sheet.n(), 52 * 52);
+        assert!(!tethers.is_empty(), "Table I plate is fastened in the middle");
+    }
+
+    #[test]
+    fn fig8_doubles_grid_with_cores() {
+        let c1 = SimulationConfig::fig8(1);
+        assert_eq!((c1.nx, c1.ny, c1.nz), (128, 128, 128));
+        let c2 = SimulationConfig::fig8(2);
+        assert_eq!((c2.nx, c2.ny, c2.nz), (256, 128, 128));
+        let c4 = SimulationConfig::fig8(4);
+        assert_eq!((c4.nx, c4.ny, c4.nz), (256, 256, 128));
+        let c8 = SimulationConfig::fig8(8);
+        assert_eq!((c8.nx, c8.ny, c8.nz), (256, 256, 256));
+        let c64 = SimulationConfig::fig8(64);
+        assert_eq!(
+            c64.nx * c64.ny * c64.nz,
+            64 * 128 * 128 * 128,
+            "total nodes scale with cores"
+        );
+        // Fixed sheet size across the sweep.
+        assert_eq!(c64.sheet.num_fibers, 104);
+    }
+
+    #[test]
+    fn bad_tau_rejected() {
+        let mut c = SimulationConfig::quick_test();
+        c.tau = 0.5;
+        let err = c.validate().unwrap_err();
+        assert!(err.0.contains("tau"), "{err}");
+    }
+
+    #[test]
+    fn indivisible_cube_rejected() {
+        let mut c = SimulationConfig::quick_test();
+        c.cube_k = 5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sheet_near_wall_rejected() {
+        let mut c = SimulationConfig::quick_test();
+        c.sheet.center[1] = 1.0; // sheet half-height 2 + delta support 2 > 1
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn excessive_body_force_rejected() {
+        let mut c = SimulationConfig::quick_test();
+        c.body_force = [1e-2, 0.0, 0.0];
+        let err = c.validate().unwrap_err();
+        assert!(err.0.contains("unstable"), "{err}");
+    }
+
+    #[test]
+    fn sheet_config_build_geometry() {
+        let sc = SheetConfig::square(5, 8.0, [10.0, 12.0, 14.0]);
+        let (sheet, _) = sc.build();
+        let (lo, hi) = sheet.bounding_box();
+        assert!((lo[1] - 8.0).abs() < 1e-12 && (hi[1] - 16.0).abs() < 1e-12);
+        assert!((lo[2] - 10.0).abs() < 1e-12 && (hi[2] - 18.0).abs() < 1e-12);
+        assert!((lo[0] - 10.0).abs() < 1e-12 && (hi[0] - 10.0).abs() < 1e-12);
+        assert!((sheet.ds_node - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_is_copy_and_debug() {
+        // The config derives Serialize/Deserialize (checked at compile time
+        // by the derive) and stays a cheap Copy value.
+        fn assert_serde<T: serde::Serialize + for<'d> serde::Deserialize<'d>>() {}
+        assert_serde::<SimulationConfig>();
+        let c = SimulationConfig::table1();
+        let c2 = c;
+        assert_eq!(format!("{c:?}"), format!("{c2:?}"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Physical diagnostics of a coupled simulation: conserved quantities,
+//! energy, structure geometry. Used by the examples for progress reporting
+//! and by the integration tests as invariants.
+
+use crate::state::SimState;
+
+/// A snapshot of the physically meaningful summary quantities.
+#[derive(Clone, Copy, Debug)]
+pub struct Diagnostics {
+    pub step: u64,
+    /// Total fluid mass `Σ f`.
+    pub mass: f64,
+    /// Total fluid momentum (from the present distributions).
+    pub momentum: [f64; 3],
+    /// Total kinetic energy `½ Σ ρ |u|²`.
+    pub kinetic_energy: f64,
+    /// Largest velocity magnitude on the grid (stability monitor; should
+    /// stay well below c_s ≈ 0.577).
+    pub max_velocity: f64,
+    /// Fiber sheet centroid.
+    pub sheet_centroid: [f64; 3],
+    /// Fiber sheet bounding-box extents.
+    pub sheet_extent: [f64; 3],
+    /// Total elastic force currently on the structure.
+    pub elastic_force: [f64; 3],
+    /// True if any field contains a non-finite value.
+    pub nan_detected: bool,
+}
+
+/// Computes all diagnostics for a state.
+pub fn diagnostics(state: &SimState) -> Diagnostics {
+    let g = &state.fluid;
+    let mut ke = 0.0;
+    let mut max_v2 = 0.0f64;
+    for i in 0..g.n() {
+        let v2 = g.ux[i] * g.ux[i] + g.uy[i] * g.uy[i] + g.uz[i] * g.uz[i];
+        ke += 0.5 * g.rho[i] * v2;
+        max_v2 = max_v2.max(v2);
+    }
+    let (lo, hi) = state.sheet.bounding_box();
+    Diagnostics {
+        step: state.step,
+        mass: g.total_mass(),
+        momentum: g.total_momentum(),
+        kinetic_energy: ke,
+        max_velocity: max_v2.sqrt(),
+        sheet_centroid: state.sheet.centroid(),
+        sheet_extent: [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]],
+        elastic_force: state.sheet.total_elastic_force(),
+        nan_detected: state.has_nan(),
+    }
+}
+
+impl Diagnostics {
+    /// One-line human-readable summary for progress logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "step {:>6}  mass {:.6e}  KE {:.6e}  max|u| {:.4}  sheet x {:.3} extent ({:.2},{:.2},{:.2}){}",
+            self.step,
+            self.mass,
+            self.kinetic_energy,
+            self.max_velocity,
+            self.sheet_centroid[0],
+            self.sheet_extent[0],
+            self.sheet_extent[1],
+            self.sheet_extent[2],
+            if self.nan_detected { "  [NaN!]" } else { "" }
+        )
+    }
+
+    /// Checks the stability invariants, returning a description of the
+    /// first violation.
+    pub fn check_stability(&self, initial_mass: f64) -> Result<(), String> {
+        if self.nan_detected {
+            return Err(format!("NaN detected at step {}", self.step));
+        }
+        if self.max_velocity > 0.4 {
+            return Err(format!(
+                "max velocity {} approaches lattice sound speed at step {}",
+                self.max_velocity, self.step
+            ));
+        }
+        let drift = (self.mass - initial_mass).abs() / initial_mass;
+        if drift > 1e-9 {
+            return Err(format!("mass drifted by {drift:.3e} at step {}", self.step));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimulationConfig;
+    use crate::sequential::SequentialSolver;
+
+    #[test]
+    fn quiescent_state_diagnostics() {
+        let s = crate::state::SimState::new(SimulationConfig::quick_test());
+        let d = diagnostics(&s);
+        assert_eq!(d.step, 0);
+        assert_eq!(d.kinetic_energy, 0.0);
+        assert_eq!(d.max_velocity, 0.0);
+        assert!(!d.nan_detected);
+        let n = s.fluid.n() as f64;
+        assert!((d.mass - n).abs() / n < 1e-11);
+        d.check_stability(d.mass).unwrap();
+    }
+
+    #[test]
+    fn diagnostics_track_simulation() {
+        let mut solver = SequentialSolver::new(SimulationConfig::quick_test());
+        let m0 = diagnostics(&solver.state).mass;
+        solver.run(20);
+        let d = diagnostics(&solver.state);
+        assert_eq!(d.step, 20);
+        assert!(d.kinetic_energy > 0.0, "flow started");
+        assert!(d.max_velocity > 0.0 && d.max_velocity < 0.1);
+        d.check_stability(m0).unwrap();
+        assert!(d.summary().contains("step"));
+    }
+
+    #[test]
+    fn stability_check_flags_nan() {
+        let mut s = crate::state::SimState::new(SimulationConfig::quick_test());
+        s.fluid.ux[0] = f64::NAN;
+        let d = diagnostics(&s);
+        assert!(d.nan_detected);
+        assert!(d.check_stability(d.mass.max(1.0)).is_err());
+    }
+
+    #[test]
+    fn stability_check_flags_runaway_velocity() {
+        let mut s = crate::state::SimState::new(SimulationConfig::quick_test());
+        s.fluid.ux[0] = 0.5;
+        let d = diagnostics(&s);
+        let err = d.check_stability(d.mass).unwrap_err();
+        assert!(err.contains("sound speed"), "{err}");
+    }
+}

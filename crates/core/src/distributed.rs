@@ -1,0 +1,532 @@
+//! Prototype of the paper's first stated future work: extending the
+//! LBM-IB solvers "from shared memory manycore systems to extreme-scale
+//! distributed memory manycore systems".
+//!
+//! This solver runs `n_ranks` workers that share **no** fluid state: each
+//! rank owns a contiguous slab of x-planes plus two ghost planes of the
+//! distribution buffer, and all communication flows through
+//! `crossbeam::channel` messages — the in-process stand-in for MPI:
+//!
+//! * **halo exchange** — after collision each rank sends its first and
+//!   last owned planes to its ring neighbours, so pull streaming can read
+//!   upwind populations across rank boundaries;
+//! * **structure replication + all-reduce** — every rank holds the whole
+//!   (small) fiber sheet and computes its forces redundantly (Table I
+//!   shows fiber kernels are ~0.05% of the work); spreading writes only
+//!   the rank's own slab, and the velocity interpolation produces partial
+//!   sums that are reduced in rank order (deterministically) and broadcast
+//!   back, exactly the scheme distributed IB codes use over MPI.
+//!
+//! The x axis must be periodic (the paper's tunnel is); y/z walls are
+//! handled locally by each rank.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use ib::delta::for_each_influence;
+use ib::forces::{bending_at, stretching_at};
+use ib::sheet::FiberSheet;
+use ib::tether::TetherSet;
+use lbm::boundary::{moving_wall_correction, CoordRoute, StreamRouter};
+use lbm::collision::bgk_collide_node;
+use lbm::grid::{wrap_axis, Dims, FluidGrid};
+use lbm::lattice::{OPPOSITE, Q};
+use lbm::macroscopic::node_moments_shifted;
+
+use crate::config::SimulationConfig;
+use crate::openmp::balanced_ranges;
+use crate::state::SimState;
+
+/// Everything one rank owns. `f` carries two ghost planes (local plane 0 =
+/// global `x0 − 1`, local plane `w + 1` = global `x1`); all other fields
+/// cover only the `w` owned planes.
+struct RankData {
+    /// Owned global x-planes `x0..x1`.
+    x0: usize,
+    w: usize,
+    /// Distributions with ghosts: `(w + 2) * ny * nz * Q`.
+    f: Vec<f64>,
+    /// Streamed distributions, owned planes only: `w * ny * nz * Q`.
+    f_new: Vec<f64>,
+    rho: Vec<f64>,
+    ux: Vec<f64>,
+    uy: Vec<f64>,
+    uz: Vec<f64>,
+    ueqx: Vec<f64>,
+    ueqy: Vec<f64>,
+    ueqz: Vec<f64>,
+    fx: Vec<f64>,
+    fy: Vec<f64>,
+    fz: Vec<f64>,
+}
+
+/// Messages exchanged between ranks.
+enum Msg {
+    /// One plane of distributions (`ny * nz * Q` values).
+    Halo(Vec<f64>),
+    /// Partial interpolated velocities for every fiber node.
+    Partial(Vec<[f64; 3]>),
+    /// Reduced velocities broadcast back from rank 0.
+    Reduced(Vec<[f64; 3]>),
+}
+
+/// Channel fabric: `mesh[from][to]`.
+struct Fabric {
+    tx: Vec<Vec<Sender<Msg>>>,
+    rx: Vec<Vec<Receiver<Msg>>>,
+}
+
+impl Fabric {
+    fn new(n: usize) -> Self {
+        let mut tx: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rx: Vec<Vec<Receiver<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for from in 0..n {
+            for _to in 0..n {
+                let (s, r) = bounded(4);
+                tx[from].push(s);
+                rx[from].push(r);
+            }
+        }
+        // rx[from][to] currently holds the receiver paired with tx[from][to];
+        // re-index so rx[to][from] receives what tx[from][to] sends.
+        let mut rx_by_dest: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (from, row) in rx.into_iter().enumerate() {
+            for (to, r) in row.into_iter().enumerate() {
+                rx_by_dest[to][from] = Some(r);
+            }
+        }
+        let rx = rx_by_dest
+            .into_iter()
+            .map(|row| row.into_iter().map(Option::unwrap).collect())
+            .collect();
+        Self { tx, rx }
+    }
+}
+
+/// The distributed-memory prototype solver.
+pub struct DistributedSolver {
+    pub config: SimulationConfig,
+    n_ranks: usize,
+    ranks: Vec<RankData>,
+    pub sheet: FiberSheet,
+    tethers: TetherSet,
+    pub step: u64,
+}
+
+impl DistributedSolver {
+    /// Builds the solver, slicing the initial state into rank slabs.
+    /// Panics unless the x axis is periodic and every rank gets at least
+    /// one plane.
+    pub fn new(config: SimulationConfig, n_ranks: usize) -> Self {
+        Self::from_state(SimState::new(config), n_ranks)
+    }
+
+    /// Builds from an existing flat state.
+    pub fn from_state(state: SimState, n_ranks: usize) -> Self {
+        let config = state.config;
+        assert!(
+            config.bc.x.is_periodic(),
+            "the distributed decomposition slices the periodic x axis"
+        );
+        assert!(n_ranks >= 1 && n_ranks <= config.nx, "need 1..=nx ranks");
+        let dims = config.dims();
+        let plane = dims.ny * dims.nz;
+        let ranges = balanced_ranges(dims.nx, n_ranks);
+        assert!(ranges.iter().all(|r| !r.is_empty()), "every rank needs at least one plane");
+
+        let g = &state.fluid;
+        let ranks = ranges
+            .iter()
+            .map(|r| {
+                let w = r.len();
+                let mut rank = RankData {
+                    x0: r.start,
+                    w,
+                    f: vec![0.0; (w + 2) * plane * Q],
+                    f_new: vec![0.0; w * plane * Q],
+                    rho: vec![0.0; w * plane],
+                    ux: vec![0.0; w * plane],
+                    uy: vec![0.0; w * plane],
+                    uz: vec![0.0; w * plane],
+                    ueqx: vec![0.0; w * plane],
+                    ueqy: vec![0.0; w * plane],
+                    ueqz: vec![0.0; w * plane],
+                    fx: vec![0.0; w * plane],
+                    fy: vec![0.0; w * plane],
+                    fz: vec![0.0; w * plane],
+                };
+                for lx in 0..w {
+                    let gx = r.start + lx;
+                    for yz in 0..plane {
+                        let gnode = gx * plane + yz;
+                        let lnode = lx * plane + yz;
+                        rank.f[(lx + 1) * plane * Q + yz * Q..(lx + 1) * plane * Q + yz * Q + Q]
+                            .copy_from_slice(&g.f[gnode * Q..gnode * Q + Q]);
+                        rank.f_new[lnode * Q..lnode * Q + Q]
+                            .copy_from_slice(&g.f_new[gnode * Q..gnode * Q + Q]);
+                        rank.rho[lnode] = g.rho[gnode];
+                        rank.ux[lnode] = g.ux[gnode];
+                        rank.uy[lnode] = g.uy[gnode];
+                        rank.uz[lnode] = g.uz[gnode];
+                        rank.ueqx[lnode] = g.ueqx[gnode];
+                        rank.ueqy[lnode] = g.ueqy[gnode];
+                        rank.ueqz[lnode] = g.ueqz[gnode];
+                    }
+                }
+                rank
+            })
+            .collect();
+
+        Self { config, n_ranks, ranks, sheet: state.sheet, tethers: state.tethers, step: state.step }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Reassembles the global flat state (gather) for verification/output.
+    pub fn to_state(&self) -> SimState {
+        let dims = self.config.dims();
+        let plane = dims.ny * dims.nz;
+        let mut fluid = FluidGrid::new(dims);
+        for rank in &self.ranks {
+            for lx in 0..rank.w {
+                let gx = rank.x0 + lx;
+                for yz in 0..plane {
+                    let gnode = gx * plane + yz;
+                    let lnode = lx * plane + yz;
+                    fluid.f[gnode * Q..gnode * Q + Q].copy_from_slice(
+                        &rank.f[(lx + 1) * plane * Q + yz * Q..(lx + 1) * plane * Q + yz * Q + Q],
+                    );
+                    fluid.f_new[gnode * Q..gnode * Q + Q]
+                        .copy_from_slice(&rank.f_new[lnode * Q..lnode * Q + Q]);
+                    fluid.rho[gnode] = rank.rho[lnode];
+                    fluid.ux[gnode] = rank.ux[lnode];
+                    fluid.uy[gnode] = rank.uy[lnode];
+                    fluid.uz[gnode] = rank.uz[lnode];
+                    fluid.ueqx[gnode] = rank.ueqx[lnode];
+                    fluid.ueqy[gnode] = rank.ueqy[lnode];
+                    fluid.ueqz[gnode] = rank.ueqz[lnode];
+                    fluid.fx[gnode] = rank.fx[lnode];
+                    fluid.fy[gnode] = rank.fy[lnode];
+                    fluid.fz[gnode] = rank.fz[lnode];
+                }
+            }
+        }
+        SimState {
+            config: self.config,
+            fluid,
+            sheet: self.sheet.clone(),
+            tethers: self.tethers.clone(),
+            step: self.step,
+        }
+    }
+
+    /// Runs `n_steps`, spawning one thread per rank connected by channels.
+    pub fn run(&mut self, n_steps: u64) {
+        if n_steps == 0 {
+            return;
+        }
+        let n = self.n_ranks;
+        let config = self.config;
+        let sheet_template = self.sheet.clone();
+        let tethers = self.tethers.clone();
+        let fabric = Fabric::new(n);
+
+        let ranks = std::mem::take(&mut self.ranks);
+        let results: Vec<(RankData, FiberSheet)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (id, rank) in ranks.into_iter().enumerate() {
+                let tx: Vec<Sender<Msg>> = fabric.tx[id].clone();
+                let rx = &fabric.rx[id];
+                let sheet = sheet_template.clone();
+                let tethers = tethers.clone();
+                handles.push(scope.spawn(move || {
+                    rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, rx)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        });
+
+        let mut new_ranks = Vec::with_capacity(n);
+        let mut sheet_out = None;
+        for (rank, sheet) in results {
+            new_ranks.push(rank);
+            // All ranks hold identical replicated sheets; keep rank 0's.
+            if sheet_out.is_none() {
+                sheet_out = Some(sheet);
+            }
+        }
+        self.ranks = new_ranks;
+        self.sheet = sheet_out.expect("at least one rank");
+        self.step += n_steps;
+    }
+}
+
+/// One rank's execution.
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    id: usize,
+    n_ranks: usize,
+    mut rank: RankData,
+    mut sheet: FiberSheet,
+    tethers: TetherSet,
+    config: SimulationConfig,
+    n_steps: u64,
+    tx: Vec<Sender<Msg>>,
+    rx: &[Receiver<Msg>],
+) -> (RankData, FiberSheet) {
+    let dims = config.dims();
+    let plane = dims.ny * dims.nz;
+    let topo = sheet.topology();
+    let nn = topo.nodes_per_fiber;
+    let tau = config.tau;
+    let bc = config.bc;
+    let delta = config.delta;
+    let area = sheet.area_element();
+    let router = StreamRouter::new(dims, &bc);
+    let left = (id + n_ranks - 1) % n_ranks;
+    let right = (id + 1) % n_ranks;
+    let w = rank.w;
+    let x1 = rank.x0 + w; // exclusive
+
+    // Local plane index of a global x that this rank can see (owned or
+    // ghost), or None.
+    let local_plane = |gx: usize| -> Option<usize> {
+        if gx >= rank.x0 && gx < x1 {
+            Some(gx - rank.x0 + 1)
+        } else if gx == wrap_axis(rank.x0, -1, dims.nx) {
+            Some(0)
+        } else if gx == wrap_axis(x1 - 1, 1, dims.nx) {
+            Some(w + 1)
+        } else {
+            None
+        }
+    };
+
+    for _step in 0..n_steps {
+        // Kernels 1–3 (+ tethers): replicated on every rank.
+        for fiber in 0..topo.num_fibers {
+            for node in 0..nn {
+                let i = fiber * nn + node;
+                sheet.bending[i] = bending_at(&topo, &sheet.pos, fiber, node);
+                sheet.stretching[i] = stretching_at(&topo, &sheet.pos, fiber, node);
+            }
+        }
+        for i in 0..sheet.n() {
+            for a in 0..3 {
+                sheet.elastic[i][a] = sheet.bending[i][a] + sheet.stretching[i][a];
+            }
+        }
+        tethers.apply(&mut sheet);
+
+        // Kernel 4: reset to body force, spread only into owned planes.
+        rank.fx.fill(config.body_force[0]);
+        rank.fy.fill(config.body_force[1]);
+        rank.fz.fill(config.body_force[2]);
+        for i in 0..sheet.n() {
+            let e = sheet.elastic[i];
+            let f_l = [e[0] * area, e[1] * area, e[2] * area];
+            if f_l == [0.0, 0.0, 0.0] {
+                continue;
+            }
+            for_each_influence(sheet.pos[i], delta, dims, &bc, |inf| {
+                if inf.x >= rank.x0 && inf.x < x1 {
+                    let lnode = (inf.x - rank.x0) * plane + inf.y * dims.nz + inf.z;
+                    rank.fx[lnode] += f_l[0] * inf.weight;
+                    rank.fy[lnode] += f_l[1] * inf.weight;
+                    rank.fz[lnode] += f_l[2] * inf.weight;
+                }
+            });
+        }
+
+        // Kernel 5: collision on owned planes.
+        for lx in 0..w {
+            for yz in 0..plane {
+                let lnode = lx * plane + yz;
+                let fi = (lx + 1) * plane * Q + yz * Q;
+                let ueq = [rank.ueqx[lnode], rank.ueqy[lnode], rank.ueqz[lnode]];
+                let rho = rank.rho[lnode];
+                bgk_collide_node(&mut rank.f[fi..fi + Q], rho, ueq, [0.0; 3], tau);
+            }
+        }
+
+        // Halo exchange: my first owned plane → left neighbour's right
+        // ghost; my last owned plane → right neighbour's left ghost.
+        let first_plane = rank.f[plane * Q..2 * plane * Q].to_vec();
+        let last_plane = rank.f[w * plane * Q..(w + 1) * plane * Q].to_vec();
+        if n_ranks == 1 {
+            rank.f[(w + 1) * plane * Q..(w + 2) * plane * Q].copy_from_slice(&first_plane);
+            rank.f[0..plane * Q].copy_from_slice(&last_plane);
+        } else {
+            tx[left].send(Msg::Halo(first_plane)).expect("send left");
+            tx[right].send(Msg::Halo(last_plane)).expect("send right");
+            // Receive: from right neighbour their first plane (my right
+            // ghost), from left neighbour their last plane (my left ghost).
+            match rx[right].recv().expect("recv right") {
+                Msg::Halo(p) => {
+                    rank.f[(w + 1) * plane * Q..(w + 2) * plane * Q].copy_from_slice(&p)
+                }
+                _ => panic!("protocol error: expected halo"),
+            }
+            match rx[left].recv().expect("recv left") {
+                Msg::Halo(p) => rank.f[0..plane * Q].copy_from_slice(&p),
+                _ => panic!("protocol error: expected halo"),
+            }
+        }
+
+        // Kernel 6: pull streaming into owned f_new, reading ghosts.
+        for lx in 0..w {
+            let gx = rank.x0 + lx;
+            for y in 0..dims.ny {
+                for z in 0..dims.nz {
+                    let lnode = lx * plane + y * dims.nz + z;
+                    let out = &mut rank.f_new[lnode * Q..lnode * Q + Q];
+                    // Rest population.
+                    out[0] = rank.f[((lx + 1) * plane + y * dims.nz + z) * Q];
+                    for i in 1..Q {
+                        let o = OPPOSITE[i];
+                        match router.route(gx, y, z, o) {
+                            CoordRoute::Neighbor(d) => {
+                                let lp = local_plane(d[0]).expect("upwind plane visible");
+                                let src = (lp * plane + d[1] * dims.nz + d[2]) * Q + i;
+                                out[i] = rank.f[src];
+                            }
+                            CoordRoute::BounceBack { wall_velocity, .. } => {
+                                let own = ((lx + 1) * plane + y * dims.nz + z) * Q + o;
+                                out[i] = rank.f[own] - moving_wall_correction(o, wall_velocity);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Kernel 7: macroscopic update on owned planes.
+        for lnode in 0..w * plane {
+            let force = [rank.fx[lnode], rank.fy[lnode], rank.fz[lnode]];
+            let (rho, u, ueq) =
+                node_moments_shifted(&rank.f_new[lnode * Q..lnode * Q + Q], force, tau);
+            rank.rho[lnode] = rho;
+            rank.ux[lnode] = u[0];
+            rank.uy[lnode] = u[1];
+            rank.uz[lnode] = u[2];
+            rank.ueqx[lnode] = ueq[0];
+            rank.ueqy[lnode] = ueq[1];
+            rank.ueqz[lnode] = ueq[2];
+        }
+
+        // Kernel 8: partial interpolation over owned planes, then a
+        // deterministic all-reduce (rank order) through rank 0.
+        let mut partial = vec![[0.0f64; 3]; sheet.n()];
+        for (i, p) in sheet.pos.iter().enumerate() {
+            let mut u = [0.0; 3];
+            for_each_influence(*p, delta, dims, &bc, |inf| {
+                if inf.x >= rank.x0 && inf.x < x1 {
+                    let lnode = (inf.x - rank.x0) * plane + inf.y * dims.nz + inf.z;
+                    u[0] += rank.ux[lnode] * inf.weight;
+                    u[1] += rank.uy[lnode] * inf.weight;
+                    u[2] += rank.uz[lnode] * inf.weight;
+                }
+            });
+            partial[i] = u;
+        }
+        let reduced = if n_ranks == 1 {
+            partial
+        } else if id == 0 {
+            let mut acc = partial;
+            // Sum in rank order for determinism.
+            let mut others: Vec<(usize, Vec<[f64; 3]>)> = Vec::with_capacity(n_ranks - 1);
+            for r in 1..n_ranks {
+                match rx[r].recv().expect("recv partial") {
+                    Msg::Partial(p) => others.push((r, p)),
+                    _ => panic!("protocol error: expected partial"),
+                }
+            }
+            others.sort_by_key(|(r, _)| *r);
+            for (_, p) in others {
+                for (a, b) in acc.iter_mut().zip(p) {
+                    a[0] += b[0];
+                    a[1] += b[1];
+                    a[2] += b[2];
+                }
+            }
+            for r in 1..n_ranks {
+                tx[r].send(Msg::Reduced(acc.clone())).expect("broadcast");
+            }
+            acc
+        } else {
+            tx[0].send(Msg::Partial(partial)).expect("send partial");
+            match rx[0].recv().expect("recv reduced") {
+                Msg::Reduced(v) => v,
+                _ => panic!("protocol error: expected reduced"),
+            }
+        };
+        for (p, u) in sheet.pos.iter_mut().zip(&reduced) {
+            p[0] += u[0];
+            p[1] += u[1];
+            p[2] += u[2];
+        }
+
+        // Kernel 9: copy owned f_new back into the (ghosted) f buffer.
+        for lx in 0..w {
+            let dst = (lx + 1) * plane * Q;
+            let src = lx * plane * Q;
+            rank.f[dst..dst + plane * Q].copy_from_slice(&rank.f_new[src..src + plane * Q]);
+        }
+    }
+
+    (rank, sheet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialSolver;
+    use crate::verify::compare_states;
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let cfg = SimulationConfig::quick_test();
+        let mut seq = SequentialSolver::new(cfg);
+        seq.run(8);
+        for ranks in [1, 2, 3, 4] {
+            let mut dist = DistributedSolver::new(cfg, ranks);
+            dist.run(8);
+            let d = compare_states(&seq.state, &dist.to_state());
+            assert!(d.within(1e-11), "{ranks} ranks: {d:?}");
+        }
+    }
+
+    #[test]
+    fn split_runs_continue_exactly() {
+        let cfg = SimulationConfig::quick_test();
+        let mut once = DistributedSolver::new(cfg, 3);
+        once.run(6);
+        let mut twice = DistributedSolver::new(cfg, 3);
+        twice.run(3);
+        twice.run(3);
+        let d = compare_states(&once.to_state(), &twice.to_state());
+        assert!(d.within(1e-12), "{d:?}");
+        assert_eq!(once.step, twice.step);
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic x axis")]
+    fn non_periodic_x_rejected() {
+        let mut cfg = SimulationConfig::quick_test();
+        cfg.bc.x = lbm::boundary::AxisBoundary::no_slip();
+        cfg.sheet.center[0] = 12.0;
+        DistributedSolver::new(cfg, 2);
+    }
+
+    #[test]
+    fn gather_round_trip_before_any_step() {
+        let cfg = SimulationConfig::quick_test();
+        let reference = crate::state::SimState::new(cfg);
+        let dist = DistributedSolver::new(cfg, 4);
+        let gathered = dist.to_state();
+        assert_eq!(gathered.fluid.f, reference.fluid.f);
+        assert_eq!(gathered.fluid.rho, reference.fluid.rho);
+    }
+}

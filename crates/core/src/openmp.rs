@@ -1,0 +1,687 @@
+//! The OpenMP-style parallel solver of Section IV, built on rayon.
+//!
+//! Fluid kernels mirror Algorithm 2: the grid is cut into contiguous
+//! x-slabs (static schedule, one slab per thread), each slab handled by one
+//! task; the implicit join at the end of each parallel region is OpenMP's
+//! implicit barrier. Fiber kernels mirror Algorithm 3 (parallel over
+//! fibers). Force spreading scatters with atomic f64 adds, since fiber
+//! nodes on different threads can influence the same fluid node.
+//!
+//! Every region records per-thread busy time, feeding the
+//! [`ImbalanceTracker`] that reproduces Table II's load-imbalance column.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use ib::forces::{bending_at, stretching_at};
+use ib::interp::{interpolate_velocity, VelocityField};
+use ib::spread::{spread_node, ForceSink};
+use lbm::boundary::{stream_pull_routed_node, StreamRouter};
+use lbm::collision::bgk_collide_node;
+use lbm::grid::Dims;
+use lbm::lattice::Q;
+use lbm::macroscopic::node_moments_shifted;
+
+use crate::atomicf64::{as_atomic_f64, AtomicF64};
+use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
+use crate::state::SimState;
+
+/// Splits `0..n` into `chunks` balanced contiguous ranges (static schedule).
+/// The first `n % chunks` ranges get one extra element; empty ranges are
+/// returned when `chunks > n` so thread identity is stable.
+pub fn balanced_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    assert!(chunks > 0);
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for t in 0..chunks {
+        let len = base + usize::from(t < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits a mutable slice into the sub-slices described by `ranges`
+/// (which must be contiguous, ascending and within bounds).
+fn split_by_ranges<'a, T>(mut slice: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0;
+    for r in ranges {
+        debug_assert!(r.start == consumed, "ranges must tile the slice");
+        let (head, tail) = slice.split_at_mut(r.end - consumed);
+        out.push(head);
+        slice = tail;
+        consumed = r.end;
+    }
+    out
+}
+
+/// Read-only view of the fluid velocity for the interpolation kernel.
+struct GridView<'a> {
+    dims: Dims,
+    ux: &'a [f64],
+    uy: &'a [f64],
+    uz: &'a [f64],
+}
+
+impl VelocityField for GridView<'_> {
+    #[inline]
+    fn velocity_at(&self, x: usize, y: usize, z: usize) -> [f64; 3] {
+        let n = self.dims.idx(x, y, z);
+        [self.ux[n], self.uy[n], self.uz[n]]
+    }
+}
+
+/// Atomic force sink for the parallel scatter of kernel 4.
+struct AtomicSink<'a> {
+    dims: Dims,
+    fx: &'a [AtomicF64],
+    fy: &'a [AtomicF64],
+    fz: &'a [AtomicF64],
+}
+
+impl ForceSink for AtomicSink<'_> {
+    #[inline]
+    fn add_force(&mut self, x: usize, y: usize, z: usize, df: [f64; 3]) {
+        let n = self.dims.idx(x, y, z);
+        self.fx[n].fetch_add(df[0]);
+        self.fy[n].fetch_add(df[1]);
+        self.fz[n].fetch_add(df[2]);
+    }
+}
+
+/// Loop scheduling policy, mirroring OpenMP's `schedule` clause. The paper
+/// used static scheduling and notes that dynamic scheduling "obtained the
+/// same performance"; both are provided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One contiguous chunk per thread (OpenMP `schedule(static)`).
+    #[default]
+    Static,
+    /// `factor` chunks per thread, work-stolen by idle workers
+    /// (OpenMP `schedule(dynamic)` with a coarse chunk size).
+    Dynamic { factor: usize },
+}
+
+/// The OpenMP-style solver: state + a dedicated thread pool.
+pub struct OpenMpSolver {
+    pub state: SimState,
+    pub profile: KernelProfile,
+    pub imbalance: ImbalanceTracker,
+    /// Loop scheduling policy (static by default, as in the paper).
+    pub schedule: Schedule,
+    pool: rayon::ThreadPool,
+    n_threads: usize,
+}
+
+impl OpenMpSolver {
+    /// Creates the solver with `n_threads` worker threads.
+    pub fn new(config: crate::config::SimulationConfig, n_threads: usize) -> Self {
+        Self::from_state(SimState::new(config), n_threads)
+    }
+
+    /// Wraps an existing state.
+    pub fn from_state(state: SimState, n_threads: usize) -> Self {
+        assert!(n_threads > 0, "need at least one thread");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .thread_name(|i| format!("lbmib-omp-{i}"))
+            .build()
+            .expect("failed to build thread pool");
+        Self {
+            state,
+            profile: KernelProfile::new(),
+            imbalance: ImbalanceTracker::new(n_threads),
+            schedule: Schedule::default(),
+            pool,
+            n_threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Number of chunks each parallel loop is cut into under the current
+    /// scheduling policy.
+    fn n_chunks(&self) -> usize {
+        match self.schedule {
+            Schedule::Static => self.n_threads,
+            Schedule::Dynamic { factor } => self.n_threads * factor.max(1),
+        }
+    }
+
+    /// One full time step: Algorithm 1's kernels, each parallelised per
+    /// Algorithms 2–3.
+    pub fn step(&mut self) {
+        self.fiber_force_kernels();
+        self.spread_kernel();
+        self.collision_kernel();
+        self.stream_kernel();
+        self.update_velocity_kernel();
+        self.move_fibers_kernel();
+        self.copy_kernel();
+        self.state.step += 1;
+    }
+
+    /// Runs `n` time steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Kernels 1–3: parallel over fibers (first loop of Algorithm 3); the
+    /// cross-fiber pass is folded into the per-node gather, so a single
+    /// region per kernel suffices.
+    fn fiber_force_kernels(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let topo = self.state.sheet.topology();
+        let nn = topo.nodes_per_fiber;
+        let fiber_ranges = balanced_ranges(topo.num_fibers, n_chunks);
+        let node_ranges: Vec<Range<usize>> =
+            fiber_ranges.iter().map(|r| r.start * nn..r.end * nn).collect();
+
+        // Kernel 1: bending.
+        {
+            let sheet = &mut self.state.sheet;
+            let pos_snapshot = sheet.pos.clone();
+            let chunks = split_by_ranges(&mut sheet.bending, &node_ranges);
+            let items: Vec<_> = chunks.into_iter().zip(fiber_ranges.iter().cloned()).collect();
+            let pos = &pos_snapshot;
+            Self::region_static(
+                &self.pool,
+                &mut self.profile,
+                &mut self.imbalance,
+                n_threads,
+                KernelId::BendingForce,
+                items,
+                |_t, (out, fibers)| {
+                    for (i, fiber) in fibers.clone().enumerate() {
+                        for node in 0..nn {
+                            out[i * nn + node] = bending_at(&topo, pos, fiber, node);
+                        }
+                    }
+                },
+            );
+        }
+
+        // Kernel 2: stretching.
+        {
+            let sheet = &mut self.state.sheet;
+            let pos_snapshot = sheet.pos.clone();
+            let chunks = split_by_ranges(&mut sheet.stretching, &node_ranges);
+            let items: Vec<_> = chunks.into_iter().zip(fiber_ranges.iter().cloned()).collect();
+            let pos = &pos_snapshot;
+            Self::region_static(
+                &self.pool,
+                &mut self.profile,
+                &mut self.imbalance,
+                n_threads,
+                KernelId::StretchingForce,
+                items,
+                |_t, (out, fibers)| {
+                    for (i, fiber) in fibers.clone().enumerate() {
+                        for node in 0..nn {
+                            out[i * nn + node] = stretching_at(&topo, pos, fiber, node);
+                        }
+                    }
+                },
+            );
+        }
+
+        // Kernel 3: elastic = bending + stretching, then tethers (cheap,
+        // applied inside the same timed kernel, sequentially).
+        {
+            let t0 = Instant::now();
+            let sheet = &mut self.state.sheet;
+            let bending = &sheet.bending;
+            let stretching = &sheet.stretching;
+            let chunks = split_by_ranges(&mut sheet.elastic, &node_ranges);
+            let items: Vec<_> = chunks.into_iter().zip(node_ranges.iter().cloned()).collect();
+            let busy: Vec<AtomicF64> = (0..n_threads).map(|_| AtomicF64::new(0.0)).collect();
+            self.pool.scope(|scope| {
+                for (out, nodes) in items {
+                    let busy = &busy;
+                    scope.spawn(move |_| {
+                        let b0 = Instant::now();
+                        for (i, node) in nodes.enumerate() {
+                            for a in 0..3 {
+                                out[i][a] = bending[node][a] + stretching[node][a];
+                            }
+                        }
+                        let w = rayon::current_thread_index().unwrap_or(0);
+                        busy[w].fetch_add(b0.elapsed().as_secs_f64());
+                    });
+                }
+            });
+            let tethers = self.state.tethers.clone();
+            tethers.apply(&mut self.state.sheet);
+            self.profile.record(KernelId::ElasticForce, t0.elapsed());
+            let busy_vals: Vec<f64> = busy.iter().map(|b| b.load()).collect();
+            self.imbalance.record_region(KernelId::ElasticForce, &busy_vals);
+        }
+    }
+
+    /// Helper mirroring [`OpenMpSolver::region`] usable while `self.state`
+    /// is partially borrowed.
+    fn region_static<I, F>(
+        pool: &rayon::ThreadPool,
+        profile: &mut KernelProfile,
+        imbalance: &mut ImbalanceTracker,
+        n_threads: usize,
+        kernel: KernelId,
+        items: Vec<I>,
+        work: F,
+    ) where
+        I: Send,
+        F: Fn(usize, I) + Sync,
+    {
+        // Busy time is attributed to the *worker thread* that ran each
+        // chunk, so the accounting works for both static (1 chunk/thread)
+        // and dynamic (many stolen chunks) schedules.
+        let busy: Vec<AtomicF64> = (0..n_threads).map(|_| AtomicF64::new(0.0)).collect();
+        let t0 = Instant::now();
+        pool.scope(|scope| {
+            for (t, item) in items.into_iter().enumerate() {
+                let busy = &busy;
+                let work = &work;
+                scope.spawn(move |_| {
+                    let b0 = Instant::now();
+                    work(t, item);
+                    let w = rayon::current_thread_index().unwrap_or(0);
+                    busy[w].fetch_add(b0.elapsed().as_secs_f64());
+                });
+            }
+        });
+        profile.record(kernel, t0.elapsed());
+        let busy_vals: Vec<f64> = busy.iter().map(|b| b.load()).collect();
+        imbalance.record_region(kernel, &busy_vals);
+    }
+
+    /// Kernel 4: clear to body force in parallel slabs, then scatter the
+    /// fiber forces through atomic adds.
+    fn spread_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let t0 = Instant::now();
+        let dims = self.state.config.dims();
+        let bc = self.state.config.bc;
+        let delta = self.state.config.delta;
+        let body = self.state.config.body_force;
+        let n = dims.n();
+        let node_ranges = balanced_ranges(n, n_chunks);
+
+        // Phase A: reset the force arrays to the body force (parallel fill).
+        {
+            let fluid = &mut self.state.fluid;
+            let fx = split_by_ranges(&mut fluid.fx, &node_ranges);
+            let fy = split_by_ranges(&mut fluid.fy, &node_ranges);
+            let fz = split_by_ranges(&mut fluid.fz, &node_ranges);
+            let items: Vec<_> = fx.into_iter().zip(fy).zip(fz).collect();
+            self.pool.scope(|scope| {
+                for ((cx, cy), cz) in items {
+                    scope.spawn(move |_| {
+                        cx.fill(body[0]);
+                        cy.fill(body[1]);
+                        cz.fill(body[2]);
+                    });
+                }
+            });
+        }
+
+        // Phase B: atomic scatter, parallel over fibers.
+        let busy: Vec<AtomicF64> = (0..n_threads).map(|_| AtomicF64::new(0.0)).collect();
+        {
+            let sheet = &self.state.sheet;
+            let area = sheet.area_element();
+            let nn = sheet.nodes_per_fiber;
+            let fiber_ranges = balanced_ranges(sheet.num_fibers, n_chunks);
+            let fluid = &mut self.state.fluid;
+            let fx = as_atomic_f64(&mut fluid.fx);
+            let fy = as_atomic_f64(&mut fluid.fy);
+            let fz = as_atomic_f64(&mut fluid.fz);
+            let pos = &sheet.pos;
+            let elastic = &sheet.elastic;
+            self.pool.scope(|scope| {
+                for fibers in fiber_ranges {
+                    let busy = &busy;
+                    let mut sink = AtomicSink { dims, fx, fy, fz };
+                    scope.spawn(move |_| {
+                        let b0 = Instant::now();
+                        for fiber in fibers {
+                            for node in 0..nn {
+                                let i = fiber * nn + node;
+                                let f = elastic[i];
+                                let f_l = [f[0] * area, f[1] * area, f[2] * area];
+                                spread_node(pos[i], f_l, delta, dims, &bc, &mut sink);
+                            }
+                        }
+                        let w = rayon::current_thread_index().unwrap_or(0);
+                        busy[w].fetch_add(b0.elapsed().as_secs_f64());
+                    });
+                }
+            });
+        }
+        self.profile.record(KernelId::SpreadForce, t0.elapsed());
+        let busy_vals: Vec<f64> = busy.iter().map(|b| b.load()).collect();
+        self.imbalance.record_region(KernelId::SpreadForce, &busy_vals);
+    }
+
+    /// Kernel 5: collision, parallel over x-slabs (Algorithm 2).
+    fn collision_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let tau = self.state.config.tau;
+        let dims = self.state.config.dims();
+        let plane = dims.ny * dims.nz;
+        let plane_ranges = balanced_ranges(dims.nx, n_chunks);
+        let node_ranges: Vec<Range<usize>> =
+            plane_ranges.iter().map(|r| r.start * plane..r.end * plane).collect();
+        let f_ranges: Vec<Range<usize>> =
+            node_ranges.iter().map(|r| r.start * Q..r.end * Q).collect();
+
+        let fluid = &mut self.state.fluid;
+        let rho = &fluid.rho;
+        let ueqx = &fluid.ueqx;
+        let ueqy = &fluid.ueqy;
+        let ueqz = &fluid.ueqz;
+        let f_chunks = split_by_ranges(&mut fluid.f, &f_ranges);
+        let items: Vec<_> = f_chunks.into_iter().zip(node_ranges.iter().cloned()).collect();
+        Self::region_static(
+            &self.pool,
+            &mut self.profile,
+            &mut self.imbalance,
+            n_threads,
+            KernelId::Collision,
+            items,
+            |_t, (f_chunk, nodes)| {
+                for (i, node) in nodes.enumerate() {
+                    let ueq = [ueqx[node], ueqy[node], ueqz[node]];
+                    bgk_collide_node(&mut f_chunk[i * Q..i * Q + Q], rho[node], ueq, [0.0; 3], tau);
+                }
+            },
+        );
+    }
+
+    /// Kernel 6: streaming, pull formulation (every write owned by the
+    /// slab's thread), parallel over x-slabs.
+    fn stream_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let dims = self.state.config.dims();
+        let bc = self.state.config.bc;
+        let plane = dims.ny * dims.nz;
+        let plane_ranges = balanced_ranges(dims.nx, n_chunks);
+        let node_ranges: Vec<Range<usize>> =
+            plane_ranges.iter().map(|r| r.start * plane..r.end * plane).collect();
+        let f_ranges: Vec<Range<usize>> =
+            node_ranges.iter().map(|r| r.start * Q..r.end * Q).collect();
+
+        let router = StreamRouter::new(dims, &bc);
+        let router = &router;
+        let fluid = &mut self.state.fluid;
+        let f = &fluid.f;
+        let chunks = split_by_ranges(&mut fluid.f_new, &f_ranges);
+        let items: Vec<_> = chunks.into_iter().zip(node_ranges.iter().cloned()).collect();
+        Self::region_static(
+            &self.pool,
+            &mut self.profile,
+            &mut self.imbalance,
+            n_threads,
+            KernelId::Stream,
+            items,
+            |_t, (out, nodes)| {
+                for (i, node) in nodes.enumerate() {
+                    let (x, y, z) = dims.coords(node);
+                    stream_pull_routed_node(dims, router, f, &mut out[i * Q..i * Q + Q], x, y, z);
+                }
+            },
+        );
+    }
+
+    /// Kernel 7: macroscopic update, parallel over x-slabs.
+    fn update_velocity_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let tau = self.state.config.tau;
+        let dims = self.state.config.dims();
+        let plane = dims.ny * dims.nz;
+        let plane_ranges = balanced_ranges(dims.nx, n_chunks);
+        let node_ranges: Vec<Range<usize>> =
+            plane_ranges.iter().map(|r| r.start * plane..r.end * plane).collect();
+
+        struct UpdateChunk<'a> {
+            nodes: Range<usize>,
+            rho: &'a mut [f64],
+            ux: &'a mut [f64],
+            uy: &'a mut [f64],
+            uz: &'a mut [f64],
+            ueqx: &'a mut [f64],
+            ueqy: &'a mut [f64],
+            ueqz: &'a mut [f64],
+        }
+
+        let fluid = &mut self.state.fluid;
+        let f_new = &fluid.f_new;
+        let fx = &fluid.fx;
+        let fy = &fluid.fy;
+        let fz = &fluid.fz;
+        let rho = split_by_ranges(&mut fluid.rho, &node_ranges);
+        let ux = split_by_ranges(&mut fluid.ux, &node_ranges);
+        let uy = split_by_ranges(&mut fluid.uy, &node_ranges);
+        let uz = split_by_ranges(&mut fluid.uz, &node_ranges);
+        let ueqx = split_by_ranges(&mut fluid.ueqx, &node_ranges);
+        let ueqy = split_by_ranges(&mut fluid.ueqy, &node_ranges);
+        let ueqz = split_by_ranges(&mut fluid.ueqz, &node_ranges);
+
+        let mut items = Vec::with_capacity(n_threads);
+        for (((((((nodes, rho), ux), uy), uz), ueqx), ueqy), ueqz) in node_ranges
+            .iter()
+            .cloned()
+            .zip(rho)
+            .zip(ux)
+            .zip(uy)
+            .zip(uz)
+            .zip(ueqx)
+            .zip(ueqy)
+            .zip(ueqz)
+        {
+            items.push(UpdateChunk { nodes, rho, ux, uy, uz, ueqx, ueqy, ueqz });
+        }
+
+        Self::region_static(
+            &self.pool,
+            &mut self.profile,
+            &mut self.imbalance,
+            n_threads,
+            KernelId::UpdateVelocity,
+            items,
+            |_t, c| {
+                for (i, node) in c.nodes.clone().enumerate() {
+                    let force = [fx[node], fy[node], fz[node]];
+                    let (rho, u, ueq) =
+                        node_moments_shifted(&f_new[node * Q..node * Q + Q], force, tau);
+                    c.rho[i] = rho;
+                    c.ux[i] = u[0];
+                    c.uy[i] = u[1];
+                    c.uz[i] = u[2];
+                    c.ueqx[i] = ueq[0];
+                    c.ueqy[i] = ueq[1];
+                    c.ueqz[i] = ueq[2];
+                }
+            },
+        );
+    }
+
+    /// Kernel 8: move fibers, parallel over fibers.
+    fn move_fibers_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let dims = self.state.config.dims();
+        let bc = self.state.config.bc;
+        let delta = self.state.config.delta;
+        let nn = self.state.sheet.nodes_per_fiber;
+        let fiber_ranges = balanced_ranges(self.state.sheet.num_fibers, n_chunks);
+        let node_ranges: Vec<Range<usize>> =
+            fiber_ranges.iter().map(|r| r.start * nn..r.end * nn).collect();
+
+        let SimState { fluid, sheet, .. } = &mut self.state;
+        let view = GridView { dims, ux: &fluid.ux, uy: &fluid.uy, uz: &fluid.uz };
+        let chunks = split_by_ranges(&mut sheet.pos, &node_ranges);
+        let view_ref = &view;
+        Self::region_static(
+            &self.pool,
+            &mut self.profile,
+            &mut self.imbalance,
+            n_threads,
+            KernelId::MoveFibers,
+            chunks,
+            |_t, chunk| {
+                for p in chunk.iter_mut() {
+                    let u = interpolate_velocity(*p, delta, dims, &bc, view_ref);
+                    p[0] += u[0];
+                    p[1] += u[1];
+                    p[2] += u[2];
+                }
+            },
+        );
+    }
+
+    /// Kernel 9: buffer copy, parallel over slabs (memory bound).
+    fn copy_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let n = self.state.fluid.f.len();
+        let ranges = balanced_ranges(n, n_chunks);
+        let fluid = &mut self.state.fluid;
+        let src = &fluid.f_new;
+        let chunks = split_by_ranges(&mut fluid.f, &ranges);
+        let items: Vec<_> = chunks.into_iter().zip(ranges.iter().cloned()).collect();
+        Self::region_static(
+            &self.pool,
+            &mut self.profile,
+            &mut self.imbalance,
+            n_threads,
+            KernelId::CopyDistributions,
+            items,
+            |_t, (dst, range)| {
+                dst.copy_from_slice(&src[range]);
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimulationConfig;
+    use crate::sequential::SequentialSolver;
+
+    #[test]
+    fn balanced_ranges_tile_exactly() {
+        for (n, c) in [(10, 3), (7, 7), (5, 8), (0, 2), (64, 4)] {
+            let rs = balanced_ranges(n, c);
+            assert_eq!(rs.len(), c);
+            assert_eq!(rs.first().unwrap().start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let max = rs.iter().map(|r| r.len()).max().unwrap_or(0);
+            let min = rs.iter().map(|r| r.len()).min().unwrap_or(0);
+            assert!(max - min <= 1, "({n},{c}): {rs:?}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_solver() {
+        let cfg = SimulationConfig::quick_test();
+        let mut seq = SequentialSolver::new(cfg);
+        let mut omp = OpenMpSolver::new(cfg, 3);
+        seq.run(8);
+        omp.run(8);
+        let max_f_err = seq
+            .state
+            .fluid
+            .f
+            .iter()
+            .zip(&omp.state.fluid.f)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_f_err < 1e-12, "distribution mismatch {max_f_err}");
+        let max_pos_err = seq
+            .state
+            .sheet
+            .pos
+            .iter()
+            .zip(&omp.state.sheet.pos)
+            .flat_map(|(a, b)| (0..3).map(move |i| (a[i] - b[i]).abs()))
+            .fold(0.0f64, f64::max);
+        assert!(max_pos_err < 1e-12, "sheet mismatch {max_pos_err}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = SimulationConfig::quick_test();
+        let mut a = OpenMpSolver::new(cfg, 1);
+        let mut b = OpenMpSolver::new(cfg, 4);
+        a.run(6);
+        b.run(6);
+        let max_err = a
+            .state
+            .fluid
+            .ux
+            .iter()
+            .zip(&b.state.fluid.ux)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        // Atomic scatter reorders additions, so allow rounding-level noise.
+        assert!(max_err < 1e-12, "ux mismatch across thread counts: {max_err}");
+    }
+
+    #[test]
+    fn profiler_and_imbalance_populated() {
+        let mut omp = OpenMpSolver::new(SimulationConfig::quick_test(), 2);
+        omp.run(3);
+        for k in KernelId::ALL {
+            assert_eq!(omp.profile.calls(k), 3, "{k:?}");
+        }
+        assert!(omp.imbalance.total_critical() > 0.0);
+        assert!(omp.imbalance.imbalance_percent() >= 0.0);
+        assert_eq!(omp.n_threads(), 2);
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_static() {
+        let cfg = SimulationConfig::quick_test();
+        let mut stat = OpenMpSolver::new(cfg, 3);
+        let mut dynamic = OpenMpSolver::new(cfg, 3);
+        dynamic.schedule = Schedule::Dynamic { factor: 4 };
+        stat.run(8);
+        dynamic.run(8);
+        let max_err = stat
+            .state
+            .fluid
+            .f
+            .iter()
+            .zip(&dynamic.state.fluid.f)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-12, "dynamic schedule changed physics: {max_err}");
+    }
+
+    #[test]
+    fn more_threads_than_fibers_is_fine() {
+        let mut cfg = SimulationConfig::quick_test();
+        cfg.sheet.num_fibers = 3;
+        cfg.sheet.nodes_per_fiber = 8;
+        let mut omp = OpenMpSolver::new(cfg, 6);
+        omp.run(2);
+        assert!(!omp.state.has_nan());
+    }
+}

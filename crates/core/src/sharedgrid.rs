@@ -1,0 +1,263 @@
+//! Shared-memory views for the cube-centric solver: the cube-blocked fluid
+//! grid and the fiber arrays, wrapped so that a fixed team of worker
+//! threads can access them through raw (unchecked-aliasing) cells.
+//!
+//! # Safety model
+//!
+//! Rust's borrow checker cannot express Algorithm 4's ownership discipline
+//! ("each cube is written only by its owner thread, except spreading which
+//! takes the owner's lock, with phases separated by barriers"), so this
+//! module provides `unsafe` indexed access and the *solver* upholds the
+//! discipline:
+//!
+//! * a location is written by at most one thread per phase, or all writes
+//!   to it are protected by its owner's mutex;
+//! * no location is read and written concurrently within a phase;
+//! * phases are separated by barriers (or mutex acquire/release), which
+//!   provide the happens-before edges.
+//!
+//! Each accessor documents which rule makes it sound at its call site.
+
+use std::cell::UnsafeCell;
+
+/// A `Sync` slice of `T` with unchecked interior mutability.
+///
+/// `T` is constrained to `Copy` values (we store `f64` and `[f64; 3]`);
+/// per-location data-race freedom is the caller's obligation.
+#[repr(transparent)]
+pub struct SharedSlice<T>(Box<[UnsafeCell<T>]>);
+
+// SAFETY: access is raw and the solver guarantees per-location exclusion;
+// the type itself adds no thread affinity.
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    /// Takes ownership of a vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        // SAFETY: UnsafeCell<T> has the same in-memory representation as T.
+        let boxed: Box<[T]> = v.into_boxed_slice();
+        let len = boxed.len();
+        let ptr = Box::into_raw(boxed) as *mut UnsafeCell<T>;
+        unsafe { Self(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len))) }
+    }
+
+    /// Releases the storage back into a vector.
+    pub fn into_vec(self) -> Vec<T> {
+        let len = self.0.len();
+        let ptr = Box::into_raw(self.0) as *mut T;
+        // SAFETY: inverse of `from_vec`.
+        unsafe { Vec::from_raw_parts(ptr, len, len) }
+    }
+
+    /// Length of the slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing element `i`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.0.len());
+        *self.0.get_unchecked(i).get()
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    /// No other thread may be concurrently reading or writing element `i`.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.0.len());
+        *self.0.get_unchecked(i).get() = v;
+    }
+
+    /// Exclusive safe view (requires `&mut`, i.e. no other users).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        let len = self.0.len();
+        let ptr = self.0.as_mut_ptr() as *mut T;
+        // SAFETY: &mut self guarantees exclusivity; layouts match.
+        unsafe { std::slice::from_raw_parts_mut(ptr, len) }
+    }
+
+    /// Borrows the storage as a plain slice for a read-only phase.
+    ///
+    /// # Safety
+    /// No thread may write any element for the lifetime of the returned
+    /// slice (e.g. fiber positions during loop 1 of Algorithm 4).
+    #[inline]
+    pub unsafe fn as_slice_unchecked(&self) -> &[T] {
+        std::slice::from_raw_parts(self.0.as_ptr() as *const T, self.0.len())
+    }
+}
+
+impl SharedSlice<f64> {
+    /// Adds `v` to element `i` (non-atomic read-modify-write).
+    ///
+    /// # Safety
+    /// The caller must hold the lock that protects element `i` (or be the
+    /// only thread able to touch it in this phase).
+    #[inline]
+    pub unsafe fn add(&self, i: usize, v: f64) {
+        debug_assert!(i < self.0.len());
+        let p = self.0.get_unchecked(i).get();
+        *p += v;
+    }
+
+    /// Copies `len` elements from `src[offset..offset+len]` into the same
+    /// range of `self` (kernel 9 restricted to one cube's block).
+    ///
+    /// # Safety
+    /// No thread may concurrently access either range.
+    #[inline]
+    pub unsafe fn copy_from(&self, src: &SharedSlice<f64>, offset: usize, len: usize) {
+        debug_assert!(offset + len <= self.0.len());
+        debug_assert!(offset + len <= src.0.len());
+        let dst = self.0[offset].get();
+        let s = src.0[offset].get() as *const f64;
+        std::ptr::copy_nonoverlapping(s, dst, len);
+    }
+}
+
+/// The cube-blocked fluid state as shared slices, plus the cube geometry.
+/// Built from (and torn back down into) a [`lbm::cube_grid::CubeFluidGrid`].
+pub struct SharedCubeGrid {
+    pub cdims: lbm::cube_grid::CubeDims,
+    pub f: SharedSlice<f64>,
+    pub f_new: SharedSlice<f64>,
+    pub rho: SharedSlice<f64>,
+    pub ux: SharedSlice<f64>,
+    pub uy: SharedSlice<f64>,
+    pub uz: SharedSlice<f64>,
+    pub ueqx: SharedSlice<f64>,
+    pub ueqy: SharedSlice<f64>,
+    pub ueqz: SharedSlice<f64>,
+    pub fx: SharedSlice<f64>,
+    pub fy: SharedSlice<f64>,
+    pub fz: SharedSlice<f64>,
+}
+
+impl SharedCubeGrid {
+    /// Wraps a cube grid for shared access.
+    pub fn new(grid: lbm::cube_grid::CubeFluidGrid) -> Self {
+        Self {
+            cdims: grid.cdims,
+            f: SharedSlice::from_vec(grid.f),
+            f_new: SharedSlice::from_vec(grid.f_new),
+            rho: SharedSlice::from_vec(grid.rho),
+            ux: SharedSlice::from_vec(grid.ux),
+            uy: SharedSlice::from_vec(grid.uy),
+            uz: SharedSlice::from_vec(grid.uz),
+            ueqx: SharedSlice::from_vec(grid.ueqx),
+            ueqy: SharedSlice::from_vec(grid.ueqy),
+            ueqz: SharedSlice::from_vec(grid.ueqz),
+            fx: SharedSlice::from_vec(grid.fx),
+            fy: SharedSlice::from_vec(grid.fy),
+            fz: SharedSlice::from_vec(grid.fz),
+        }
+    }
+
+    /// Unwraps back into the owned cube grid.
+    pub fn into_inner(self) -> lbm::cube_grid::CubeFluidGrid {
+        lbm::cube_grid::CubeFluidGrid {
+            cdims: self.cdims,
+            f: self.f.into_vec(),
+            f_new: self.f_new.into_vec(),
+            rho: self.rho.into_vec(),
+            ux: self.ux.into_vec(),
+            uy: self.uy.into_vec(),
+            uz: self.uz.into_vec(),
+            ueqx: self.ueqx.into_vec(),
+            ueqy: self.ueqy.into_vec(),
+            ueqz: self.ueqz.into_vec(),
+            fx: self.fx.into_vec(),
+            fy: self.fy.into_vec(),
+            fz: self.fz.into_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm::cube_grid::{CubeDims, CubeFluidGrid};
+    use lbm::grid::Dims;
+
+    #[test]
+    fn from_into_vec_round_trip() {
+        let s = SharedSlice::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        unsafe {
+            assert_eq!(s.get(1), 2.0);
+            s.set(1, 5.0);
+            s.add(2, 0.5);
+        }
+        assert_eq!(s.into_vec(), vec![1.0, 5.0, 3.5]);
+    }
+
+    #[test]
+    fn as_mut_slice_gives_safe_access() {
+        let mut s = SharedSlice::from_vec(vec![0u64; 4]);
+        s.as_mut_slice()[2] = 9;
+        assert_eq!(s.into_vec(), vec![0, 0, 9, 0]);
+    }
+
+    #[test]
+    fn vec3_storage_works() {
+        let s = SharedSlice::from_vec(vec![[1.0f64, 2.0, 3.0]; 2]);
+        unsafe {
+            let mut v = s.get(0);
+            v[1] += 1.0;
+            s.set(0, v);
+            assert_eq!(s.get(0), [1.0, 3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn shared_grid_round_trip_preserves_data() {
+        let cdims = CubeDims::new(Dims::new(4, 4, 4), 2);
+        let mut g = CubeFluidGrid::new(cdims);
+        for (i, v) in g.f.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        g.rho[7] = 3.25;
+        let shared = SharedCubeGrid::new(g);
+        unsafe {
+            assert_eq!(shared.rho.get(7), 3.25);
+            assert_eq!(shared.f.get(10), 10.0);
+            shared.ux.set(0, -1.0);
+        }
+        let back = shared.into_inner();
+        assert_eq!(back.rho[7], 3.25);
+        assert_eq!(back.ux[0], -1.0);
+        assert_eq!(back.f[10], 10.0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_visible_after_join() {
+        let s = SharedSlice::from_vec(vec![0.0f64; 8]);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    // Each thread owns two disjoint slots.
+                    for i in [t, t + 4] {
+                        unsafe { s.set(i, (i + 1) as f64) };
+                    }
+                });
+            }
+        });
+        let v = s.into_vec();
+        assert_eq!(v, (1..=8).map(|i| i as f64).collect::<Vec<_>>());
+    }
+}

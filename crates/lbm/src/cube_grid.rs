@@ -1,0 +1,352 @@
+//! The cube-blocked fluid layout of Section V: the `Nx × Ny × Nz` grid is
+//! divided into `(Nx/k) × (Ny/k) × (Nz/k)` cubes of `k³` nodes each, and
+//! every cube is stored in one contiguous memory block. This is the layout
+//! the cube-centric solver owns and the working-set argument of the paper
+//! rests on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Dims, FluidGrid};
+use crate::lattice::Q;
+
+/// Geometry of a cube-blocked grid: global dimensions plus the cube edge `k`.
+///
+/// All extents must be divisible by `k` (the paper makes the same
+/// assumption); [`CubeDims::new`] enforces it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeDims {
+    pub dims: Dims,
+    /// Cube edge length in nodes.
+    pub k: usize,
+    /// Number of cubes along each axis.
+    pub cx: usize,
+    pub cy: usize,
+    pub cz: usize,
+}
+
+impl CubeDims {
+    /// Creates a cube decomposition. Panics unless `k` divides every extent.
+    pub fn new(dims: Dims, k: usize) -> Self {
+        assert!(k > 0, "cube edge must be positive");
+        assert!(
+            dims.nx % k == 0 && dims.ny % k == 0 && dims.nz % k == 0,
+            "cube edge {k} must divide grid {}x{}x{}",
+            dims.nx,
+            dims.ny,
+            dims.nz
+        );
+        Self { dims, k, cx: dims.nx / k, cy: dims.ny / k, cz: dims.nz / k }
+    }
+
+    /// Total number of cubes.
+    #[inline]
+    pub fn num_cubes(&self) -> usize {
+        self.cx * self.cy * self.cz
+    }
+
+    /// Nodes per cube (`k³`).
+    #[inline]
+    pub fn nodes_per_cube(&self) -> usize {
+        self.k * self.k * self.k
+    }
+
+    /// Flat cube index of cube coordinates `(ci, cj, ck)`.
+    #[inline]
+    pub fn cube_idx(&self, ci: usize, cj: usize, ck: usize) -> usize {
+        debug_assert!(ci < self.cx && cj < self.cy && ck < self.cz);
+        (ci * self.cy + cj) * self.cz + ck
+    }
+
+    /// Inverse of [`CubeDims::cube_idx`].
+    #[inline]
+    pub fn cube_coords(&self, c: usize) -> (usize, usize, usize) {
+        let ck = c % self.cz;
+        let cj = (c / self.cz) % self.cy;
+        let ci = c / (self.cz * self.cy);
+        (ci, cj, ck)
+    }
+
+    /// Local node index within a cube for local coordinates `(lx, ly, lz)`.
+    #[inline]
+    pub fn local_idx(&self, lx: usize, ly: usize, lz: usize) -> usize {
+        debug_assert!(lx < self.k && ly < self.k && lz < self.k);
+        (lx * self.k + ly) * self.k + lz
+    }
+
+    /// Splits a global coordinate into (cube index, local node index).
+    #[inline]
+    pub fn split(&self, x: usize, y: usize, z: usize) -> (usize, usize) {
+        let (ci, lx) = (x / self.k, x % self.k);
+        let (cj, ly) = (y / self.k, y % self.k);
+        let (ck, lz) = (z / self.k, z % self.k);
+        (self.cube_idx(ci, cj, ck), self.local_idx(lx, ly, lz))
+    }
+
+    /// Global coordinates of (cube index, local node index).
+    #[inline]
+    pub fn join(&self, cube: usize, local: usize) -> (usize, usize, usize) {
+        let (ci, cj, ck) = self.cube_coords(cube);
+        let lz = local % self.k;
+        let ly = (local / self.k) % self.k;
+        let lx = local / (self.k * self.k);
+        (ci * self.k + lx, cj * self.k + ly, ck * self.k + lz)
+    }
+
+    /// Flat scalar-field index of (cube, local): cube-major storage.
+    #[inline]
+    pub fn flat(&self, cube: usize, local: usize) -> usize {
+        cube * self.nodes_per_cube() + local
+    }
+
+    /// Flat scalar-field index of a global coordinate.
+    #[inline]
+    pub fn flat_of_global(&self, x: usize, y: usize, z: usize) -> usize {
+        let (c, l) = self.split(x, y, z);
+        self.flat(c, l)
+    }
+}
+
+/// Fluid state stored cube-blocked. Field meanings match [`FluidGrid`]; only
+/// the index mapping differs: scalar entry `flat(cube, local)`, distribution
+/// entry `flat(cube, local) * Q + dir`. All nodes of a cube — and all 19
+/// directions of all its nodes — are contiguous.
+#[derive(Clone, Debug)]
+pub struct CubeFluidGrid {
+    pub cdims: CubeDims,
+    pub f: Vec<f64>,
+    pub f_new: Vec<f64>,
+    pub rho: Vec<f64>,
+    pub ux: Vec<f64>,
+    pub uy: Vec<f64>,
+    pub uz: Vec<f64>,
+    /// Equilibrium-shift velocity, see [`FluidGrid::ueqx`].
+    pub ueqx: Vec<f64>,
+    pub ueqy: Vec<f64>,
+    pub ueqz: Vec<f64>,
+    pub fx: Vec<f64>,
+    pub fy: Vec<f64>,
+    pub fz: Vec<f64>,
+}
+
+impl CubeFluidGrid {
+    /// Allocates a cube-blocked grid with zero distributions, unit density.
+    pub fn new(cdims: CubeDims) -> Self {
+        let n = cdims.dims.n();
+        Self {
+            cdims,
+            f: vec![0.0; n * Q],
+            f_new: vec![0.0; n * Q],
+            rho: vec![1.0; n],
+            ux: vec![0.0; n],
+            uy: vec![0.0; n],
+            uz: vec![0.0; n],
+            ueqx: vec![0.0; n],
+            ueqy: vec![0.0; n],
+            ueqz: vec![0.0; n],
+            fx: vec![0.0; n],
+            fy: vec![0.0; n],
+            fz: vec![0.0; n],
+        }
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.cdims.dims.n()
+    }
+
+    /// Reorders a node-major [`FluidGrid`] into cube-blocked storage.
+    pub fn from_flat(grid: &FluidGrid, k: usize) -> Self {
+        let cdims = CubeDims::new(grid.dims, k);
+        let mut out = Self::new(cdims);
+        for (x, y, z) in grid.dims.iter_coords() {
+            let src = grid.dims.idx(x, y, z);
+            let dst = cdims.flat_of_global(x, y, z);
+            out.f[dst * Q..dst * Q + Q].copy_from_slice(&grid.f[src * Q..src * Q + Q]);
+            out.f_new[dst * Q..dst * Q + Q].copy_from_slice(&grid.f_new[src * Q..src * Q + Q]);
+            out.rho[dst] = grid.rho[src];
+            out.ux[dst] = grid.ux[src];
+            out.uy[dst] = grid.uy[src];
+            out.uz[dst] = grid.uz[src];
+            out.ueqx[dst] = grid.ueqx[src];
+            out.ueqy[dst] = grid.ueqy[src];
+            out.ueqz[dst] = grid.ueqz[src];
+            out.fx[dst] = grid.fx[src];
+            out.fy[dst] = grid.fy[src];
+            out.fz[dst] = grid.fz[src];
+        }
+        out
+    }
+
+    /// Reorders back to a node-major [`FluidGrid`] (used by the verification
+    /// machinery to compare cube and flat solvers).
+    pub fn to_flat(&self) -> FluidGrid {
+        let dims = self.cdims.dims;
+        let mut out = FluidGrid::new(dims);
+        for (x, y, z) in dims.iter_coords() {
+            let src = self.cdims.flat_of_global(x, y, z);
+            let dst = dims.idx(x, y, z);
+            out.f[dst * Q..dst * Q + Q].copy_from_slice(&self.f[src * Q..src * Q + Q]);
+            out.f_new[dst * Q..dst * Q + Q].copy_from_slice(&self.f_new[src * Q..src * Q + Q]);
+            out.rho[dst] = self.rho[src];
+            out.ux[dst] = self.ux[src];
+            out.uy[dst] = self.uy[src];
+            out.uz[dst] = self.uz[src];
+            out.ueqx[dst] = self.ueqx[src];
+            out.ueqy[dst] = self.ueqy[src];
+            out.ueqz[dst] = self.ueqz[src];
+            out.fx[dst] = self.fx[src];
+            out.fy[dst] = self.fy[src];
+            out.fz[dst] = self.fz[src];
+        }
+        out
+    }
+
+    /// Clears the per-node body force.
+    pub fn clear_force(&mut self) {
+        self.fx.fill(0.0);
+        self.fy.fill(0.0);
+        self.fz.fill(0.0);
+    }
+
+    /// Kernel 9 restricted to one cube: copy its `f_new` block into `f`.
+    #[inline]
+    pub fn copy_distributions_cube(&mut self, cube: usize) {
+        let npc = self.cdims.nodes_per_cube();
+        let a = cube * npc * Q;
+        let b = a + npc * Q;
+        let (f, f_new) = (&mut self.f, &self.f_new);
+        f[a..b].copy_from_slice(&f_new[a..b]);
+    }
+
+    /// Total fluid mass.
+    pub fn total_mass(&self) -> f64 {
+        self.f.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn divisibility_enforced() {
+        let d = Dims::new(8, 8, 8);
+        let c = CubeDims::new(d, 4);
+        assert_eq!((c.cx, c.cy, c.cz), (2, 2, 2));
+        assert_eq!(c.num_cubes(), 8);
+        assert_eq!(c.nodes_per_cube(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_k_rejected() {
+        CubeDims::new(Dims::new(9, 8, 8), 4);
+    }
+
+    #[test]
+    fn split_join_round_trip() {
+        let c = CubeDims::new(Dims::new(8, 12, 4), 4);
+        for (x, y, z) in c.dims.iter_coords() {
+            let (cube, local) = c.split(x, y, z);
+            assert_eq!(c.join(cube, local), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn flat_covers_every_scalar_slot_once() {
+        let c = CubeDims::new(Dims::new(8, 4, 8), 2);
+        let mut seen = vec![false; c.dims.n()];
+        for (x, y, z) in c.dims.iter_coords() {
+            let i = c.flat_of_global(x, y, z);
+            assert!(!seen[i], "slot {i} hit twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cube_nodes_are_contiguous() {
+        let c = CubeDims::new(Dims::new(4, 4, 4), 2);
+        // All 8 nodes of cube 0 occupy flat slots 0..8.
+        for lx in 0..2 {
+            for ly in 0..2 {
+                for lz in 0..2 {
+                    let i = c.flat_of_global(lx, ly, lz);
+                    assert!(i < 8, "node ({lx},{ly},{lz}) of cube 0 at slot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_mapping_example() {
+        // The paper's Figure 6: a 4x4x4 grid with k = 2 yields 2x2x2 cubes.
+        let c = CubeDims::new(Dims::new(4, 4, 4), 2);
+        assert_eq!((c.cx, c.cy, c.cz), (2, 2, 2));
+        assert_eq!(c.num_cubes(), 8);
+        // Node (3,3,3) lives in the last cube, last local slot.
+        let (cube, local) = c.split(3, 3, 3);
+        assert_eq!(cube, 7);
+        assert_eq!(local, 7);
+    }
+
+    #[test]
+    fn round_trip_through_flat_grid() {
+        let dims = Dims::new(4, 6, 2);
+        let mut g = FluidGrid::new(dims);
+        for (i, v) in g.f.iter_mut().enumerate() {
+            *v = i as f64 * 0.5;
+        }
+        for (i, v) in g.rho.iter_mut().enumerate() {
+            *v = 1.0 + i as f64 * 0.01;
+        }
+        for (i, v) in g.fy.iter_mut().enumerate() {
+            *v = -(i as f64);
+        }
+        let cube = CubeFluidGrid::from_flat(&g, 2);
+        let back = cube.to_flat();
+        assert_eq!(back.f, g.f);
+        assert_eq!(back.rho, g.rho);
+        assert_eq!(back.fy, g.fy);
+    }
+
+    #[test]
+    fn copy_distributions_cube_is_local() {
+        let c = CubeDims::new(Dims::new(4, 4, 4), 2);
+        let mut g = CubeFluidGrid::new(c);
+        for (i, v) in g.f_new.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        g.copy_distributions_cube(3);
+        let npc = c.nodes_per_cube();
+        for slot in 0..g.f.len() {
+            let in_cube3 = (3 * npc * Q..4 * npc * Q).contains(&slot);
+            if in_cube3 {
+                assert_eq!(g.f[slot], slot as f64);
+            } else {
+                assert_eq!(g.f[slot], 0.0, "slot {slot} outside cube 3 was touched");
+            }
+        }
+    }
+
+    proptest! {
+        /// split/join bijection for random geometry.
+        #[test]
+        fn prop_split_join(
+            cx in 1usize..4,
+            cy in 1usize..4,
+            cz in 1usize..4,
+            k in 1usize..5,
+        ) {
+            let c = CubeDims::new(Dims::new(cx * k, cy * k, cz * k), k);
+            for cube in 0..c.num_cubes() {
+                for local in 0..c.nodes_per_cube() {
+                    let (x, y, z) = c.join(cube, local);
+                    prop_assert_eq!(c.split(x, y, z), (cube, local));
+                }
+            }
+        }
+    }
+}

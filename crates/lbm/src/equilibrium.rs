@@ -1,0 +1,143 @@
+//! The Maxwell–Boltzmann equilibrium distribution truncated to second order
+//! in the fluid velocity, which is what the BGK collision relaxes toward.
+
+use crate::lattice::{CS2, EF, Q, W};
+
+/// Equilibrium distribution for direction `i` at density `rho` and
+/// velocity `u`:
+///
+/// `f^eq_i = w_i ρ (1 + e·u / c_s² + (e·u)² / 2c_s⁴ − u·u / 2c_s²)`
+///
+/// With `c_s² = 1/3` the familiar coefficients 3, 4.5, 1.5 appear.
+#[inline]
+pub fn feq(i: usize, rho: f64, u: [f64; 3]) -> f64 {
+    let eu = EF[i][0] * u[0] + EF[i][1] * u[1] + EF[i][2] * u[2];
+    let uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+    W[i] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu)
+}
+
+/// Computes all 19 equilibrium values at once into `out`.
+///
+/// This is the hot-loop form used by the collision kernel: the common
+/// subexpressions (`u·u`, per-direction `e·u`) are evaluated once.
+#[inline]
+pub fn feq_all(rho: f64, u: [f64; 3], out: &mut [f64; Q]) {
+    let uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+    let base = 1.0 - 1.5 * uu;
+    for i in 0..Q {
+        let eu = EF[i][0] * u[0] + EF[i][1] * u[1] + EF[i][2] * u[2];
+        out[i] = W[i] * rho * (base + 3.0 * eu + 4.5 * eu * eu);
+    }
+}
+
+/// Zeroth moment of the equilibrium: recovers `rho` exactly.
+pub fn feq_density(rho: f64, u: [f64; 3]) -> f64 {
+    (0..Q).map(|i| feq(i, rho, u)).sum()
+}
+
+/// First moment of the equilibrium: recovers `rho * u` exactly.
+pub fn feq_momentum(rho: f64, u: [f64; 3]) -> [f64; 3] {
+    let mut m = [0.0; 3];
+    for i in 0..Q {
+        let fi = feq(i, rho, u);
+        m[0] += fi * EF[i][0];
+        m[1] += fi * EF[i][1];
+        m[2] += fi * EF[i][2];
+    }
+    m
+}
+
+/// Second moment `Σ f^eq_i e_ia e_ib = ρ c_s² δ_ab + ρ u_a u_b`
+/// (the Euler-level momentum flux). Exposed for the validation tests.
+pub fn feq_stress(rho: f64, u: [f64; 3]) -> [[f64; 3]; 3] {
+    let mut s = [[0.0; 3]; 3];
+    for i in 0..Q {
+        let fi = feq(i, rho, u);
+        for a in 0..3 {
+            for b in 0..3 {
+                s[a][b] += fi * EF[i][a] * EF[i][b];
+            }
+        }
+    }
+    let _ = CS2;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rest_fluid_equilibrium_is_weights() {
+        for i in 0..Q {
+            assert!((feq(i, 1.0, [0.0; 3]) - W[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn feq_all_matches_feq() {
+        let u = [0.03, -0.05, 0.02];
+        let mut out = [0.0; Q];
+        feq_all(1.1, u, &mut out);
+        for i in 0..Q {
+            assert!((out[i] - feq(i, 1.1, u)).abs() < 1e-15, "dir {i}");
+        }
+    }
+
+    #[test]
+    fn moments_recover_density_and_momentum() {
+        let rho = 0.97;
+        let u = [0.04, 0.01, -0.06];
+        assert!((feq_density(rho, u) - rho).abs() < 1e-13);
+        let m = feq_momentum(rho, u);
+        for a in 0..3 {
+            assert!((m[a] - rho * u[a]).abs() < 1e-13, "axis {a}");
+        }
+    }
+
+    #[test]
+    fn stress_moment_is_euler_flux() {
+        let rho = 1.05;
+        let u = [0.05, -0.02, 0.03];
+        let s = feq_stress(rho, u);
+        for a in 0..3 {
+            for b in 0..3 {
+                let want = rho * u[a] * u[b] + if a == b { rho * CS2 } else { 0.0 };
+                assert!((s[a][b] - want).abs() < 1e-13, "({a},{b}): {} vs {want}", s[a][b]);
+            }
+        }
+    }
+
+    proptest! {
+        /// Density and momentum identities hold for arbitrary small velocities
+        /// and densities near 1 — the regime the solver operates in.
+        #[test]
+        fn prop_moment_identities(
+            rho in 0.5f64..2.0,
+            ux in -0.15f64..0.15,
+            uy in -0.15f64..0.15,
+            uz in -0.15f64..0.15,
+        ) {
+            let u = [ux, uy, uz];
+            prop_assert!((feq_density(rho, u) - rho).abs() < 1e-12);
+            let m = feq_momentum(rho, u);
+            for a in 0..3 {
+                prop_assert!((m[a] - rho * u[a]).abs() < 1e-12);
+            }
+        }
+
+        /// Equilibrium values stay positive for the velocities the CFL-like
+        /// stability constraint allows (|u| well below c_s).
+        #[test]
+        fn prop_positivity_at_low_mach(
+            ux in -0.1f64..0.1,
+            uy in -0.1f64..0.1,
+            uz in -0.1f64..0.1,
+        ) {
+            for i in 0..Q {
+                prop_assert!(feq(i, 1.0, [ux, uy, uz]) > 0.0, "dir {}", i);
+            }
+        }
+    }
+}

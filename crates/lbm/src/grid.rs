@@ -1,0 +1,322 @@
+//! Flat structure-of-arrays storage for the Eulerian fluid grid.
+//!
+//! This is the layout used by the sequential and OpenMP-style solvers in the
+//! paper: one contiguous allocation per field over the whole
+//! `Nx × Ny × Nz` grid, with the 19 distribution values of a node stored
+//! next to each other (node-major interleaving) so the collision kernel —
+//! 73% of the sequential run time in Table I — touches one small contiguous
+//! span per node.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lattice::Q;
+
+/// Dimensions of a 3D fluid grid and its index algebra.
+///
+/// A coordinate `(x, y, z)` maps to the flat node index
+/// `(x * ny + y) * nz + z`, i.e. z is the fastest-varying axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Dims {
+    /// Creates grid dimensions. Panics if any extent is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive: {nx}x{ny}x{nz}");
+        Self { nx, ny, nz }
+    }
+
+    /// Total number of fluid nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Flat index of node `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Inverse of [`Dims::idx`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.n());
+        let z = idx % self.nz;
+        let y = (idx / self.nz) % self.ny;
+        let x = idx / (self.nz * self.ny);
+        (x, y, z)
+    }
+
+    /// Adds an integer offset to a coordinate with periodic wrap-around.
+    #[inline]
+    pub fn wrap(&self, x: usize, y: usize, z: usize, dx: i32, dy: i32, dz: i32) -> (usize, usize, usize) {
+        (
+            wrap_axis(x, dx, self.nx),
+            wrap_axis(y, dy, self.ny),
+            wrap_axis(z, dz, self.nz),
+        )
+    }
+
+    /// Flat index of the periodic neighbour of `(x, y, z)` displaced by `e`.
+    #[inline]
+    pub fn neighbor_idx(&self, x: usize, y: usize, z: usize, e: [i32; 3]) -> usize {
+        let (xn, yn, zn) = self.wrap(x, y, z, e[0], e[1], e[2]);
+        self.idx(xn, yn, zn)
+    }
+
+    /// Iterates all coordinates in index order (x outermost, z innermost).
+    pub fn iter_coords(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nx).flat_map(move |x| (0..ny).flat_map(move |y| (0..nz).map(move |z| (x, y, z))))
+    }
+}
+
+/// Adds a signed offset to `v` modulo `n`, assuming `|d| <= n`.
+#[inline]
+pub fn wrap_axis(v: usize, d: i32, n: usize) -> usize {
+    debug_assert!(d.unsigned_abs() as usize <= n);
+    let s = v as i64 + d as i64;
+    let n = n as i64;
+    (((s % n) + n) % n) as usize
+}
+
+/// Structure-of-arrays fluid state over a [`Dims`] grid.
+///
+/// `f` is the *present* distribution buffer and `f_new` the buffer streamed
+/// into; kernel 9 of the paper (`copy_fluid_velocity_distribution`) copies
+/// `f_new` back into `f` at the end of every step. Both buffers interleave
+/// the 19 directions per node: entry `node * Q + dir`.
+#[derive(Clone, Debug)]
+pub struct FluidGrid {
+    pub dims: Dims,
+    /// Present distribution functions, `n * Q` entries, node-major.
+    pub f: Vec<f64>,
+    /// New (post-streaming) distribution functions, same layout.
+    pub f_new: Vec<f64>,
+    /// Macroscopic density per node.
+    pub rho: Vec<f64>,
+    /// Macroscopic velocity components per node.
+    pub ux: Vec<f64>,
+    pub uy: Vec<f64>,
+    pub uz: Vec<f64>,
+    /// Equilibrium-shift velocity (`u + τF/ρ`) used by the coupled solvers'
+    /// velocity-shift forcing, where the collision kernel must not read the
+    /// force directly (that is what makes the paper's three-barrier
+    /// Algorithm 4 race-free).
+    pub ueqx: Vec<f64>,
+    pub ueqy: Vec<f64>,
+    pub ueqz: Vec<f64>,
+    /// External/elastic body force per node (what the fibers spread into).
+    pub fx: Vec<f64>,
+    pub fy: Vec<f64>,
+    pub fz: Vec<f64>,
+}
+
+impl FluidGrid {
+    /// Allocates a grid with all distributions zero and unit density.
+    pub fn new(dims: Dims) -> Self {
+        let n = dims.n();
+        Self {
+            dims,
+            f: vec![0.0; n * Q],
+            f_new: vec![0.0; n * Q],
+            rho: vec![1.0; n],
+            ux: vec![0.0; n],
+            uy: vec![0.0; n],
+            uz: vec![0.0; n],
+            ueqx: vec![0.0; n],
+            ueqy: vec![0.0; n],
+            ueqz: vec![0.0; n],
+            fx: vec![0.0; n],
+            fy: vec![0.0; n],
+            fz: vec![0.0; n],
+        }
+    }
+
+    /// Number of fluid nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.dims.n()
+    }
+
+    /// Present distributions of one node as a slice of length `Q`.
+    #[inline]
+    pub fn node_f(&self, node: usize) -> &[f64] {
+        &self.f[node * Q..node * Q + Q]
+    }
+
+    /// Mutable present distributions of one node.
+    #[inline]
+    pub fn node_f_mut(&mut self, node: usize) -> &mut [f64] {
+        &mut self.f[node * Q..node * Q + Q]
+    }
+
+    /// New-buffer distributions of one node.
+    #[inline]
+    pub fn node_f_new(&self, node: usize) -> &[f64] {
+        &self.f_new[node * Q..node * Q + Q]
+    }
+
+    /// Velocity vector at a node.
+    #[inline]
+    pub fn velocity(&self, node: usize) -> [f64; 3] {
+        [self.ux[node], self.uy[node], self.uz[node]]
+    }
+
+    /// Body-force vector at a node.
+    #[inline]
+    pub fn force(&self, node: usize) -> [f64; 3] {
+        [self.fx[node], self.fy[node], self.fz[node]]
+    }
+
+    /// Clears the per-node body force. Run before each spreading pass.
+    pub fn clear_force(&mut self) {
+        self.fx.fill(0.0);
+        self.fy.fill(0.0);
+        self.fz.fill(0.0);
+    }
+
+    /// Kernel 9 of the paper: copy the new-distribution buffer into the
+    /// present buffer so `f_new` can be reused next step.
+    pub fn copy_distributions(&mut self) {
+        self.f.copy_from_slice(&self.f_new);
+    }
+
+    /// The obvious optimisation of kernel 9: swap the buffers instead of
+    /// copying. Offered separately because Table I charges 5.9% of run time
+    /// to the literal copy and the reproduction harness keeps it.
+    pub fn swap_distributions(&mut self) {
+        std::mem::swap(&mut self.f, &mut self.f_new);
+    }
+
+    /// Total fluid mass, `Σ_nodes Σ_i f_i`.
+    pub fn total_mass(&self) -> f64 {
+        self.f.iter().sum()
+    }
+
+    /// Total fluid momentum from the present distributions (no force
+    /// correction), one component per axis.
+    pub fn total_momentum(&self) -> [f64; 3] {
+        use crate::lattice::EF;
+        let mut p = [0.0; 3];
+        for node in 0..self.n() {
+            let fs = self.node_f(node);
+            for (i, &fi) in fs.iter().enumerate() {
+                p[0] += fi * EF[i][0];
+                p[1] += fi * EF[i][1];
+                p[2] += fi * EF[i][2];
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_bijective_on_coords() {
+        let d = Dims::new(3, 4, 5);
+        let mut seen = vec![false; d.n()];
+        for (x, y, z) in d.iter_coords() {
+            let i = d.idx(x, y, z);
+            assert!(!seen[i], "index {i} hit twice");
+            seen[i] = true;
+            assert_eq!(d.coords(i), (x, y, z));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn z_is_fastest_axis() {
+        let d = Dims::new(4, 4, 4);
+        assert_eq!(d.idx(0, 0, 1) - d.idx(0, 0, 0), 1);
+        assert_eq!(d.idx(0, 1, 0) - d.idx(0, 0, 0), 4);
+        assert_eq!(d.idx(1, 0, 0) - d.idx(0, 0, 0), 16);
+    }
+
+    #[test]
+    fn wrap_axis_behaves_periodically() {
+        assert_eq!(wrap_axis(0, -1, 8), 7);
+        assert_eq!(wrap_axis(7, 1, 8), 0);
+        assert_eq!(wrap_axis(3, 0, 8), 3);
+        assert_eq!(wrap_axis(0, -8, 8), 0);
+    }
+
+    #[test]
+    fn neighbor_idx_wraps_all_directions() {
+        use crate::lattice::E;
+        let d = Dims::new(4, 3, 5);
+        // From the corner every direction must land on a valid node.
+        for e in E {
+            let i = d.neighbor_idx(0, 0, 0, e);
+            assert!(i < d.n());
+            let (x, y, z) = d.coords(i);
+            assert_eq!(x, wrap_axis(0, e[0], 4));
+            assert_eq!(y, wrap_axis(0, e[1], 3));
+            assert_eq!(z, wrap_axis(0, e[2], 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        Dims::new(0, 4, 4);
+    }
+
+    #[test]
+    fn grid_allocation_sizes() {
+        let g = FluidGrid::new(Dims::new(2, 3, 4));
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.f.len(), 24 * Q);
+        assert_eq!(g.f_new.len(), 24 * Q);
+        assert_eq!(g.rho.len(), 24);
+        assert!(g.rho.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn copy_and_swap_distributions() {
+        let mut g = FluidGrid::new(Dims::new(2, 2, 2));
+        for (i, v) in g.f_new.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let want = g.f_new.clone();
+        g.copy_distributions();
+        assert_eq!(g.f, want);
+        // Swap moves the buffers without copying.
+        g.f_new.fill(-1.0);
+        g.swap_distributions();
+        assert!(g.f.iter().all(|&v| v == -1.0));
+        assert_eq!(g.f_new, want);
+    }
+
+    #[test]
+    fn clear_force_zeroes_all_components() {
+        let mut g = FluidGrid::new(Dims::new(2, 2, 2));
+        g.fx.fill(1.0);
+        g.fy.fill(2.0);
+        g.fz.fill(3.0);
+        g.clear_force();
+        assert!(g.fx.iter().chain(&g.fy).chain(&g.fz).all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn total_mass_and_momentum_of_rest_populations() {
+        use crate::lattice::W;
+        let mut g = FluidGrid::new(Dims::new(3, 3, 3));
+        for node in 0..g.n() {
+            g.node_f_mut(node).copy_from_slice(&W);
+        }
+        assert!((g.total_mass() - 27.0).abs() < 1e-12);
+        let p = g.total_momentum();
+        for c in p {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The D3Q19 lattice: discrete velocity set, quadrature weights, and the
+//! index algebra (opposites, component lookups) every other module builds on.
+//!
+//! Direction `0` is the rest particle; directions `1..=6` point along the
+//! coordinate axes and `7..=18` along the face diagonals, matching Figure 2
+//! of the paper (a particle may move along 18 directions or stay put).
+
+/// Number of discrete velocities in the D3Q19 model.
+pub const Q: usize = 19;
+
+/// Lattice speed of sound squared, `c_s² = 1/3` in lattice units.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Discrete velocity vectors `e_i` of the D3Q19 model.
+///
+/// Ordering: rest, the six axis directions (+x, -x, +y, -y, +z, -z), then the
+/// twelve diagonals grouped by plane (xy, xz, yz).
+pub const E: [[i32; 3]; Q] = [
+    [0, 0, 0],
+    [1, 0, 0],
+    [-1, 0, 0],
+    [0, 1, 0],
+    [0, -1, 0],
+    [0, 0, 1],
+    [0, 0, -1],
+    [1, 1, 0],
+    [-1, -1, 0],
+    [1, -1, 0],
+    [-1, 1, 0],
+    [1, 0, 1],
+    [-1, 0, -1],
+    [1, 0, -1],
+    [-1, 0, 1],
+    [0, 1, 1],
+    [0, -1, -1],
+    [0, 1, -1],
+    [0, -1, 1],
+];
+
+/// Quadrature weights `w_i`: 1/3 for rest, 1/18 for axis directions, 1/36 for
+/// diagonals. They sum to exactly 1.
+pub const W: [f64; Q] = [
+    1.0 / 3.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Index of the direction opposite to `i`, i.e. `E[OPPOSITE[i]] == -E[i]`.
+/// Used by half-way bounce-back boundaries.
+pub const OPPOSITE: [usize; Q] = [
+    0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+];
+
+/// Velocity components as `f64`, convenient for arithmetic without casts.
+pub const EF: [[f64; 3]; Q] = {
+    let mut ef = [[0.0; 3]; Q];
+    let mut i = 0;
+    while i < Q {
+        ef[i] = [E[i][0] as f64, E[i][1] as f64, E[i][2] as f64];
+        i += 1;
+    }
+    ef
+};
+
+/// Returns the direction index whose velocity equals `(ex, ey, ez)`, if any.
+///
+/// Only vectors with components in `{-1, 0, 1}` and at most two non-zero
+/// components correspond to D3Q19 directions.
+pub fn direction_of(ex: i32, ey: i32, ez: i32) -> Option<usize> {
+    E.iter().position(|e| e[0] == ex && e[1] == ey && e[2] == ez)
+}
+
+/// True if direction `i` has a positive component along axis `axis`
+/// (0 = x, 1 = y, 2 = z). Used to pick the set of populations that cross a
+/// given boundary face.
+pub fn moves_along(i: usize, axis: usize, sign: i32) -> bool {
+    E[i][axis] == sign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s: f64 = W.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15, "sum of weights = {s}");
+    }
+
+    #[test]
+    fn weight_classes() {
+        assert_eq!(W[0], 1.0 / 3.0);
+        for i in 1..=6 {
+            assert_eq!(W[i], 1.0 / 18.0, "axis direction {i}");
+        }
+        for i in 7..19 {
+            assert_eq!(W[i], 1.0 / 36.0, "diagonal direction {i}");
+        }
+    }
+
+    #[test]
+    fn velocities_have_expected_speeds() {
+        // Rest particle has speed 0, axis directions speed 1, diagonals sqrt(2).
+        assert_eq!(E[0], [0, 0, 0]);
+        for i in 1..=6 {
+            let n2: i32 = E[i].iter().map(|c| c * c).sum();
+            assert_eq!(n2, 1, "axis direction {i}");
+        }
+        for i in 7..19 {
+            let n2: i32 = E[i].iter().map(|c| c * c).sum();
+            assert_eq!(n2, 2, "diagonal direction {i}");
+        }
+    }
+
+    #[test]
+    fn all_directions_distinct() {
+        for i in 0..Q {
+            for j in (i + 1)..Q {
+                assert_ne!(E[i], E[j], "directions {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution_and_negation() {
+        for i in 0..Q {
+            let o = OPPOSITE[i];
+            assert_eq!(OPPOSITE[o], i, "opposite not an involution at {i}");
+            for a in 0..3 {
+                assert_eq!(E[o][a], -E[i][a], "E[{o}] != -E[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn first_moment_vanishes() {
+        // Σ w_i e_i = 0 (lattice isotropy, first moment).
+        for a in 0..3 {
+            let m: f64 = (0..Q).map(|i| W[i] * EF[i][a]).sum();
+            assert!(m.abs() < 1e-15, "axis {a}: {m}");
+        }
+    }
+
+    #[test]
+    fn second_moment_is_cs2_identity() {
+        // Σ w_i e_ia e_ib = c_s² δ_ab.
+        for a in 0..3 {
+            for b in 0..3 {
+                let m: f64 = (0..Q).map(|i| W[i] * EF[i][a] * EF[i][b]).sum();
+                let want = if a == b { CS2 } else { 0.0 };
+                assert!((m - want).abs() < 1e-15, "({a},{b}): {m} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn third_moment_vanishes() {
+        // Σ w_i e_ia e_ib e_ic = 0 for all index triples (odd moment).
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let m: f64 = (0..Q).map(|i| W[i] * EF[i][a] * EF[i][b] * EF[i][c]).sum();
+                    assert!(m.abs() < 1e-15, "({a},{b},{c}): {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fourth_moment_isotropy() {
+        // Σ w_i e_ia e_ib e_ic e_id = c_s⁴ (δ_ab δ_cd + δ_ac δ_bd + δ_ad δ_bc).
+        let d = |x: usize, y: usize| if x == y { 1.0 } else { 0.0 };
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    for e in 0..3 {
+                        let m: f64 = (0..Q)
+                            .map(|i| W[i] * EF[i][a] * EF[i][b] * EF[i][c] * EF[i][e])
+                            .sum();
+                        let want = CS2 * CS2 * (d(a, b) * d(c, e) + d(a, c) * d(b, e) + d(a, e) * d(b, c));
+                        assert!((m - want).abs() < 1e-15, "({a},{b},{c},{e}): {m} vs {want}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direction_of_finds_every_velocity() {
+        for (i, e) in E.iter().enumerate() {
+            assert_eq!(direction_of(e[0], e[1], e[2]), Some(i));
+        }
+        assert_eq!(direction_of(1, 1, 1), None, "corner velocities are not in D3Q19");
+        assert_eq!(direction_of(2, 0, 0), None);
+    }
+
+    #[test]
+    fn moves_along_partitions_faces() {
+        // Exactly 5 populations leave through each face of a node.
+        for axis in 0..3 {
+            for sign in [-1, 1] {
+                let n = (0..Q).filter(|&i| moves_along(i, axis, sign)).count();
+                assert_eq!(n, 5, "axis {axis} sign {sign}");
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Derived fluid observables: pressure, vorticity, and the strain-rate /
+//! shear-stress tensor. Section III-A of the paper lists these among the
+//! "properties of a fluid node" the library must expose.
+//!
+//! Pressure comes from the LBM equation of state `p = c_s² ρ`. Vorticity
+//! is the curl of the velocity field by central differences. The
+//! strain-rate tensor uses the lattice Boltzmann shortcut: it is available
+//! *locally* from the non-equilibrium part of the distributions,
+//! `S_ab = −(1 / 2 ρ c_s² τ)) Σ_i (f_i − f_i^eq) e_ia e_ib`,
+//! with no finite differences at all — one of the practical advantages of
+//! LBM the paper's Section II-B alludes to.
+
+use crate::equilibrium::feq_all;
+use crate::grid::FluidGrid;
+use crate::lattice::{CS2, EF, Q};
+
+/// Pressure at a node: `p = c_s² ρ` (lattice units).
+#[inline]
+pub fn pressure(rho: f64) -> f64 {
+    CS2 * rho
+}
+
+/// Pressure field of the whole grid.
+pub fn pressure_field(grid: &FluidGrid) -> Vec<f64> {
+    grid.rho.iter().map(|&r| pressure(r)).collect()
+}
+
+/// Strain-rate tensor at one node from the non-equilibrium populations.
+///
+/// `f` must be the *pre-collision* distributions and `(rho, u)` their
+/// moments (the velocity used for the equilibrium).
+pub fn strain_rate_node(f: &[f64], rho: f64, u: [f64; 3], tau: f64) -> [[f64; 3]; 3] {
+    debug_assert_eq!(f.len(), Q);
+    let mut eq = [0.0; Q];
+    feq_all(rho, u, &mut eq);
+    let mut pi = [[0.0; 3]; 3];
+    for i in 0..Q {
+        let fneq = f[i] - eq[i];
+        for a in 0..3 {
+            for b in 0..3 {
+                pi[a][b] += fneq * EF[i][a] * EF[i][b];
+            }
+        }
+    }
+    let c = -1.0 / (2.0 * rho * CS2 * tau);
+    let mut s = [[0.0; 3]; 3];
+    for a in 0..3 {
+        for b in 0..3 {
+            s[a][b] = c * pi[a][b];
+        }
+    }
+    s
+}
+
+/// Deviatoric shear stress at one node: `σ_ab = 2 ρ ν S_ab` with
+/// `ν = c_s² (τ − ½)`.
+pub fn shear_stress_node(f: &[f64], rho: f64, u: [f64; 3], tau: f64) -> [[f64; 3]; 3] {
+    let s = strain_rate_node(f, rho, u, tau);
+    let nu = CS2 * (tau - 0.5);
+    let mut sigma = [[0.0; 3]; 3];
+    for a in 0..3 {
+        for b in 0..3 {
+            sigma[a][b] = 2.0 * rho * nu * s[a][b];
+        }
+    }
+    sigma
+}
+
+/// Vorticity `ω = ∇ × u` at every node by central differences, with
+/// periodic wrap-around on all axes (one-sided differencing at walls is
+/// the caller's concern — vorticity within two cells of a wall should be
+/// read with that caveat).
+pub fn vorticity_field(grid: &FluidGrid) -> Vec<[f64; 3]> {
+    let dims = grid.dims;
+    let mut out = vec![[0.0; 3]; dims.n()];
+    let d = |arr: &[f64], x: usize, y: usize, z: usize, axis: usize| -> f64 {
+        let (e_p, e_m) = match axis {
+            0 => (dims.wrap(x, y, z, 1, 0, 0), dims.wrap(x, y, z, -1, 0, 0)),
+            1 => (dims.wrap(x, y, z, 0, 1, 0), dims.wrap(x, y, z, 0, -1, 0)),
+            _ => (dims.wrap(x, y, z, 0, 0, 1), dims.wrap(x, y, z, 0, 0, -1)),
+        };
+        0.5 * (arr[dims.idx(e_p.0, e_p.1, e_p.2)] - arr[dims.idx(e_m.0, e_m.1, e_m.2)])
+    };
+    for (x, y, z) in dims.iter_coords() {
+        let node = dims.idx(x, y, z);
+        let duz_dy = d(&grid.uz, x, y, z, 1);
+        let duy_dz = d(&grid.uy, x, y, z, 2);
+        let dux_dz = d(&grid.ux, x, y, z, 2);
+        let duz_dx = d(&grid.uz, x, y, z, 0);
+        let duy_dx = d(&grid.uy, x, y, z, 0);
+        let dux_dy = d(&grid.ux, x, y, z, 1);
+        out[node] = [duz_dy - duy_dz, dux_dz - duz_dx, duy_dx - dux_dy];
+    }
+    out
+}
+
+/// Maximum vorticity magnitude over the grid (a compact turbulence/shear
+/// indicator for progress reports).
+pub fn max_vorticity(grid: &FluidGrid) -> f64 {
+    vorticity_field(grid)
+        .iter()
+        .map(|w| (w[0] * w[0] + w[1] * w[1] + w[2] * w[2]).sqrt())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::TaylorGreen;
+    use crate::grid::Dims;
+    use crate::boundary::{AxisBoundary, BoundaryConfig};
+    use crate::collision::Relaxation;
+    use crate::equilibrium::feq;
+    use crate::stepper::PlainLbm;
+
+    #[test]
+    fn pressure_is_cs2_rho() {
+        assert!((pressure(1.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((pressure(0.9) - 0.3).abs() < 1e-12);
+        let mut g = FluidGrid::new(Dims::new(2, 2, 2));
+        g.rho[3] = 1.2;
+        let p = pressure_field(&g);
+        assert!((p[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_has_zero_strain() {
+        let rho = 1.05;
+        let u = [0.03, -0.01, 0.02];
+        let mut f = [0.0; Q];
+        for i in 0..Q {
+            f[i] = feq(i, rho, u);
+        }
+        let s = strain_rate_node(&f, rho, u, 0.8);
+        for row in s {
+            for v in row {
+                assert!(v.abs() < 1e-15, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn strain_tensor_is_symmetric() {
+        let rho = 1.0;
+        let u = [0.02, 0.0, 0.0];
+        let mut f = [0.0; Q];
+        for i in 0..Q {
+            f[i] = feq(i, rho, u) + 1e-4 * ((i * 7 % 5) as f64 - 2.0);
+        }
+        let s = strain_rate_node(&f, rho, u, 0.9);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert!((s[a][b] - s[b][a]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn couette_strain_and_vorticity_match_analytic() {
+        // Steady Couette flow: du_x/dy = u_lid / ny everywhere, so
+        // S_xy = ½ du/dy and ω_z = −du/dy.
+        let ny = 8;
+        let u_lid = 0.02;
+        let dims = Dims::new(4, ny, 4);
+        let relax = Relaxation::new(0.8);
+        let bc = BoundaryConfig {
+            x: AxisBoundary::Periodic,
+            y: AxisBoundary::Walls { lo: [0.0; 3], hi: [u_lid, 0.0, 0.0] },
+            z: AxisBoundary::Periodic,
+        };
+        let mut s = PlainLbm::new(dims, relax, bc);
+        s.run(3000);
+        let dudy = u_lid / ny as f64;
+
+        // Strain from the non-equilibrium populations at an interior node.
+        let node = dims.idx(2, ny / 2, 2);
+        let u = [s.grid.ux[node], s.grid.uy[node], s.grid.uz[node]];
+        let strain = strain_rate_node(s.grid.node_f(node), s.grid.rho[node], u, relax.tau);
+        assert!(
+            (strain[0][1] - 0.5 * dudy).abs() < 0.05 * 0.5 * dudy,
+            "S_xy {} vs analytic {}",
+            strain[0][1],
+            0.5 * dudy
+        );
+
+        // Vorticity by finite differences (interior rows only: the wrap at
+        // the walls corrupts the boundary rows).
+        let w = vorticity_field(&s.grid);
+        let wz = w[node][2];
+        assert!((wz + dudy).abs() < 0.05 * dudy, "omega_z {wz} vs analytic {}", -dudy);
+
+        // Shear stress: sigma_xy = 2 rho nu S_xy = rho nu du/dy.
+        let sigma = shear_stress_node(s.grid.node_f(node), s.grid.rho[node], u, relax.tau);
+        let want = s.grid.rho[node] * relax.viscosity() * dudy;
+        assert!((sigma[0][1] - want).abs() < 0.05 * want, "sigma {} vs {want}", sigma[0][1]);
+    }
+
+    #[test]
+    fn taylor_green_vorticity_peaks_at_vortex_cores() {
+        let dims = Dims::new(16, 16, 1);
+        let relax = Relaxation::new(0.8);
+        let tg = TaylorGreen { dims, u0: 0.02, nu: relax.viscosity() };
+        let mut s = PlainLbm::new(dims, relax, BoundaryConfig::periodic());
+        s.initialize(|_, _, _| 1.0, |x, y, z| tg.velocity(x, y, z, 0.0));
+        // Measure at t = 0: the velocity field is exactly the analytic one.
+        let w = vorticity_field(&s.grid);
+        // All vorticity is in the z component for a 2D flow.
+        for (i, wi) in w.iter().enumerate() {
+            assert!(wi[0].abs() < 1e-12 && wi[1].abs() < 1e-12, "node {i}: {wi:?}");
+        }
+        let max = max_vorticity(&s.grid);
+        // ω_z = 2 u0 k sin(kx x) sin(ky y); central differences of a sine
+        // underestimate the derivative by sin(k)/k.
+        let (kx, _) = tg.wavenumbers();
+        let analytic_peak = 2.0 * tg.u0 * kx * (kx.sin() / kx);
+        assert!(
+            (max - analytic_peak).abs() < 0.01 * analytic_peak,
+            "peak vorticity {max} vs analytic {analytic_peak}"
+        );
+        // And the field decays: after 50 steps the peak must shrink by the
+        // viscous factor.
+        s.run(50);
+        let decayed = max_vorticity(&s.grid);
+        let expect = max * (-2.0 * tg.nu * kx * kx * 50.0).exp();
+        assert!(
+            (decayed - expect).abs() < 0.05 * expect,
+            "decayed peak {decayed} vs {expect}"
+        );
+    }
+}

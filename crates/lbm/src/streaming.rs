@@ -1,0 +1,194 @@
+//! Streaming (kernel 6, `stream_fluid_velocity_distribution`): propagate each
+//! post-collision population to the neighbouring node its velocity points at.
+//!
+//! Two formulations are provided. *Push* copies a node's populations outward
+//! into `f_new` of its 18 neighbours — the formulation of the paper, which in
+//! the cube solver forces cross-cube writes protected by owner locks. *Pull*
+//! gathers into a node's own `f_new` from the 18 upwind neighbours, so every
+//! write is owned — the formulation the rayon (OpenMP-style) solver uses.
+//! Both compute exactly the same permutation of values.
+
+use crate::grid::{Dims, FluidGrid};
+use crate::lattice::{E, Q};
+
+/// Push streaming over the whole grid with periodic wrap on all axes.
+pub fn stream_push(grid: &mut FluidGrid) {
+    let dims = grid.dims;
+    for x in 0..dims.nx {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let node = dims.idx(x, y, z);
+                stream_push_node(dims, &grid.f, &mut grid.f_new, node, x, y, z);
+            }
+        }
+    }
+}
+
+/// Pushes one node's populations into `f_new`. Exposed so the cube solver
+/// can reuse the inner body on intra-cube nodes.
+#[inline]
+pub fn stream_push_node(
+    dims: Dims,
+    f: &[f64],
+    f_new: &mut [f64],
+    node: usize,
+    x: usize,
+    y: usize,
+    z: usize,
+) {
+    f_new[node * Q] = f[node * Q]; // rest population stays put
+    for i in 1..Q {
+        let dst = dims.neighbor_idx(x, y, z, E[i]);
+        f_new[dst * Q + i] = f[node * Q + i];
+    }
+}
+
+/// Pull streaming over the whole grid with periodic wrap on all axes.
+pub fn stream_pull(grid: &mut FluidGrid) {
+    let dims = grid.dims;
+    let f = &grid.f;
+    let f_new = &mut grid.f_new;
+    for x in 0..dims.nx {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let node = dims.idx(x, y, z);
+                stream_pull_node(dims, f, &mut f_new[node * Q..node * Q + Q], x, y, z);
+            }
+        }
+    }
+}
+
+/// Gathers one node's `f_new` values from its upwind neighbours. `out` is the
+/// destination node's Q-slice. Safe for any caller that owns the destination.
+#[inline]
+pub fn stream_pull_node(dims: Dims, f: &[f64], out: &mut [f64], x: usize, y: usize, z: usize) {
+    debug_assert_eq!(out.len(), Q);
+    let node = dims.idx(x, y, z);
+    out[0] = f[node * Q];
+    for i in 1..Q {
+        let src = dims.neighbor_idx(x, y, z, [-E[i][0], -E[i][1], -E[i][2]]);
+        out[i] = f[src * Q + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tagged_grid(dims: Dims) -> FluidGrid {
+        // Give every (node, direction) slot a unique value so streaming is a
+        // verifiable permutation.
+        let mut g = FluidGrid::new(dims);
+        for (k, v) in g.f.iter_mut().enumerate() {
+            *v = k as f64 + 1.0;
+        }
+        g
+    }
+
+    #[test]
+    fn push_moves_single_population_to_neighbor() {
+        let dims = Dims::new(4, 4, 4);
+        let mut g = FluidGrid::new(dims);
+        let src = dims.idx(1, 2, 3);
+        g.f[src * Q + 1] = 7.0; // direction +x
+        stream_push(&mut g);
+        let dst = dims.idx(2, 2, 3);
+        assert_eq!(g.f_new[dst * Q + 1], 7.0);
+        // Nothing else received that population.
+        let total: f64 = g.f_new.iter().sum();
+        assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn push_wraps_periodically() {
+        let dims = Dims::new(3, 3, 3);
+        let mut g = FluidGrid::new(dims);
+        let src = dims.idx(2, 0, 0);
+        g.f[src * Q + 1] = 5.0; // +x from the last plane wraps to x=0
+        stream_push(&mut g);
+        assert_eq!(g.f_new[dims.idx(0, 0, 0) * Q + 1], 5.0);
+    }
+
+    #[test]
+    fn pull_equals_push() {
+        let dims = Dims::new(3, 4, 5);
+        let mut a = tagged_grid(dims);
+        let mut b = a.clone();
+        stream_push(&mut a);
+        stream_pull(&mut b);
+        assert_eq!(a.f_new, b.f_new);
+    }
+
+    #[test]
+    fn streaming_is_a_permutation() {
+        let dims = Dims::new(4, 3, 2);
+        let mut g = tagged_grid(dims);
+        stream_push(&mut g);
+        let mut before: Vec<u64> = g.f.iter().map(|v| v.to_bits()).collect();
+        let mut after: Vec<u64> = g.f_new.iter().map(|v| v.to_bits()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after, "streaming must permute values bit-exactly");
+    }
+
+    #[test]
+    fn rest_population_never_moves() {
+        let dims = Dims::new(3, 3, 3);
+        let mut g = FluidGrid::new(dims);
+        for node in 0..g.n() {
+            g.f[node * Q] = node as f64 + 1.0;
+        }
+        stream_push(&mut g);
+        for node in 0..g.n() {
+            assert_eq!(g.f_new[node * Q], node as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn streaming_preserves_per_direction_mass() {
+        let dims = Dims::new(4, 4, 4);
+        let mut g = tagged_grid(dims);
+        stream_push(&mut g);
+        for i in 0..Q {
+            let before: f64 = (0..g.n()).map(|n| g.f[n * Q + i]).sum();
+            let after: f64 = (0..g.n()).map(|n| g.f_new[n * Q + i]).sum();
+            assert!((before - after).abs() < 1e-9, "direction {i}");
+        }
+    }
+
+    #[test]
+    fn opposite_streams_cancel() {
+        // Streaming +x then -x returns a population to its origin.
+        let dims = Dims::new(5, 2, 2);
+        let mut g = FluidGrid::new(dims);
+        let start = dims.idx(2, 1, 1);
+        g.f[start * Q + 1] = 1.0;
+        stream_push(&mut g);
+        g.copy_distributions();
+        // Move the value into the opposite direction slot to send it back.
+        let here = dims.idx(3, 1, 1);
+        g.f[here * Q + 2] = g.f[here * Q + 1];
+        g.f[here * Q + 1] = 0.0;
+        g.f_new.fill(0.0);
+        stream_push(&mut g);
+        assert_eq!(g.f_new[start * Q + 2], 1.0);
+    }
+
+    proptest! {
+        /// Push/pull equivalence over random grid shapes.
+        #[test]
+        fn prop_push_pull_equivalence(
+            nx in 1usize..6,
+            ny in 1usize..6,
+            nz in 1usize..6,
+        ) {
+            let dims = Dims::new(nx, ny, nz);
+            let mut a = tagged_grid(dims);
+            let mut b = a.clone();
+            stream_push(&mut a);
+            stream_pull(&mut b);
+            prop_assert_eq!(a.f_new, b.f_new);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Lattice ↔ physical unit conversion. The solver works in lattice units
+//! (dx = dt = 1); real FSI problems — blood cells in vessels, sheets in
+//! water tunnels — are posed in SI units. The converter fixes the three
+//! free scales (length, time, density) and derives everything else,
+//! keeping the Reynolds number invariant by construction.
+
+use crate::collision::Relaxation;
+
+/// Conversion factors between lattice and physical (SI) units.
+#[derive(Clone, Copy, Debug)]
+pub struct UnitConverter {
+    /// Physical size of one lattice spacing, metres.
+    pub dx: f64,
+    /// Physical duration of one time step, seconds.
+    pub dt: f64,
+    /// Physical density of one lattice density unit, kg/m³.
+    pub rho0: f64,
+}
+
+impl UnitConverter {
+    /// Builds a converter from explicit scales. Panics on non-positive
+    /// scales.
+    pub fn new(dx: f64, dt: f64, rho0: f64) -> Self {
+        assert!(dx > 0.0 && dt > 0.0 && rho0 > 0.0, "scales must be positive");
+        Self { dx, dt, rho0 }
+    }
+
+    /// Derives the converter (and relaxation time) for a target physical
+    /// problem: resolve a physical length `l_phys` with `l_lattice` nodes,
+    /// map the characteristic physical velocity `u_phys` to the lattice
+    /// velocity `u_lattice` (keep it ≲ 0.1 for accuracy), with kinematic
+    /// viscosity `nu_phys` (m²/s) and density `rho_phys` (kg/m³). Returns
+    /// the converter and the τ the simulation must use.
+    pub fn from_physical(
+        l_phys: f64,
+        l_lattice: f64,
+        u_phys: f64,
+        u_lattice: f64,
+        nu_phys: f64,
+        rho_phys: f64,
+    ) -> (Self, Relaxation) {
+        assert!(l_phys > 0.0 && l_lattice > 0.0 && u_phys > 0.0 && u_lattice > 0.0);
+        let dx = l_phys / l_lattice;
+        let dt = u_lattice / u_phys * dx;
+        let conv = Self::new(dx, dt, rho_phys);
+        let nu_lattice = nu_phys * dt / (dx * dx);
+        (conv, Relaxation::from_viscosity(nu_lattice))
+    }
+
+    /// Lattice velocity → m/s.
+    pub fn velocity_to_physical(&self, u: f64) -> f64 {
+        u * self.dx / self.dt
+    }
+
+    /// m/s → lattice velocity.
+    pub fn velocity_to_lattice(&self, u: f64) -> f64 {
+        u * self.dt / self.dx
+    }
+
+    /// Lattice kinematic viscosity → m²/s.
+    pub fn viscosity_to_physical(&self, nu: f64) -> f64 {
+        nu * self.dx * self.dx / self.dt
+    }
+
+    /// Lattice time steps → seconds.
+    pub fn time_to_physical(&self, steps: f64) -> f64 {
+        steps * self.dt
+    }
+
+    /// Lattice length → metres.
+    pub fn length_to_physical(&self, l: f64) -> f64 {
+        l * self.dx
+    }
+
+    /// Lattice pressure (c_s² ρ) → Pa.
+    pub fn pressure_to_physical(&self, p: f64) -> f64 {
+        p * self.rho0 * self.dx * self.dx / (self.dt * self.dt)
+    }
+
+    /// Lattice force density (force per node volume) → N/m³.
+    pub fn force_density_to_physical(&self, f: f64) -> f64 {
+        f * self.rho0 * self.dx / (self.dt * self.dt)
+    }
+
+    /// Reynolds number of a lattice-scale flow: `Re = u L / ν` — the same
+    /// in both unit systems.
+    pub fn reynolds(u_lattice: f64, l_lattice: f64, relax: Relaxation) -> f64 {
+        u_lattice * l_lattice / relax.viscosity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn velocity_round_trip() {
+        let c = UnitConverter::new(1e-3, 2e-5, 1000.0);
+        let u_phys = 0.37;
+        let u_lat = c.velocity_to_lattice(u_phys);
+        assert!((c.velocity_to_physical(u_lat) - u_phys).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_physical_preserves_reynolds() {
+        // Water tunnel: 2 cm channel resolved by 64 nodes, 0.1 m/s inflow
+        // mapped to lattice velocity 0.05, water viscosity 1e-6 m²/s.
+        let (conv, relax) =
+            UnitConverter::from_physical(0.02, 64.0, 0.1, 0.05, 1e-6, 1000.0);
+        let re_phys = 0.1 * 0.02 / 1e-6;
+        let re_lat = UnitConverter::reynolds(0.05, 64.0, relax);
+        assert!(
+            (re_lat / re_phys - 1.0).abs() < 1e-12,
+            "Re mismatch: lattice {re_lat} vs physical {re_phys}"
+        );
+        // Sanity: derived scales reproduce the inputs.
+        assert!((conv.length_to_physical(64.0) - 0.02).abs() < 1e-15);
+        assert!((conv.velocity_to_physical(0.05) - 0.1).abs() < 1e-15);
+        assert!((conv.viscosity_to_physical(relax.viscosity()) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn from_physical_yields_stable_tau() {
+        // A coarse resolution of a fast flow needs a small dt; tau must
+        // stay above 1/2 by construction of Relaxation.
+        let (_, relax) = UnitConverter::from_physical(0.01, 32.0, 0.5, 0.08, 1e-6, 1000.0);
+        assert!(relax.tau > 0.5);
+    }
+
+    #[test]
+    fn pressure_and_force_scales() {
+        let c = UnitConverter::new(1e-3, 1e-4, 1000.0);
+        // One lattice pressure unit = rho0 dx²/dt² Pa.
+        assert!((c.pressure_to_physical(1.0) - 1000.0 * 1e-6 / 1e-8).abs() < 1e-9);
+        assert!(c.force_density_to_physical(1e-5) > 0.0);
+        assert!((c.time_to_physical(100.0) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_rejected() {
+        UnitConverter::new(0.0, 1.0, 1.0);
+    }
+}

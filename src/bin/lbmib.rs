@@ -1,0 +1,232 @@
+//! `lbmib` — command-line driver for the LBM-IB library.
+//!
+//! Runs a coupled fluid–structure simulation from flags, with any of the
+//! three solvers, periodic progress reports, and optional CSV/VTK output.
+//!
+//! ```text
+//! lbmib [--solver seq|omp|cube|dist] [--preset quick|table1|fig8] [--cores N]
+//!       [--steps N] [--threads N] [--nx N --ny N --nz N] [--tau T]
+//!       [--gx G] [--sheet N] [--sheet-extent E] [--tether none|center|edge]
+//!       [--cube-k K] [--out DIR] [--report-every N] [--profile]
+//! ```
+//!
+//! Examples:
+//! ```text
+//! lbmib --preset quick --solver cube --threads 4 --steps 200 --profile
+//! lbmib --nx 64 --ny 32 --nz 32 --sheet 20 --steps 500 --out run1/
+//! lbmib --preset quick --autotune            # pick the best cube edge first
+//! lbmib --preset quick --steps 500 --save run.ckpt
+//! lbmib --resume run.ckpt --steps 500        # continue bit-exactly
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+use lbm_ib::diagnostics::diagnostics;
+use lbm_ib::output::{append_trajectory_row, dump_sheet_snapshot, trajectory_header};
+use lbm_ib::{
+    CubeSolver, DistributedSolver, OpenMpSolver, SequentialSolver, SheetConfig, SimState,
+    SimulationConfig, TetherConfig,
+};
+use lbm_ib_bench::Args;
+
+/// The solver selected on the command line.
+enum Solver {
+    Seq(SequentialSolver),
+    Omp(OpenMpSolver),
+    Cube(CubeSolver),
+    Dist(DistributedSolver),
+}
+
+impl Solver {
+    fn run(&mut self, n: u64) {
+        match self {
+            Solver::Seq(s) => s.run(n),
+            Solver::Omp(s) => s.run(n),
+            Solver::Cube(s) => s.run(n),
+            Solver::Dist(s) => s.run(n),
+        }
+    }
+
+    fn state(&self) -> SimState {
+        match self {
+            Solver::Seq(s) => s.state.clone(),
+            Solver::Omp(s) => s.state.clone(),
+            Solver::Cube(s) => s.to_state(),
+            Solver::Dist(s) => s.to_state(),
+        }
+    }
+
+    fn profile_table(&self) -> String {
+        match self {
+            Solver::Seq(s) => s.profile.table(),
+            Solver::Omp(s) => s.profile.table(),
+            Solver::Cube(s) => s.profile.table(),
+            Solver::Dist(_) => "(no per-kernel profile for the distributed prototype)\n".to_string(),
+        }
+    }
+}
+
+fn build_config(args: &Args) -> SimulationConfig {
+    let mut config = match args.get::<String>("preset").as_deref() {
+        Some("table1") => SimulationConfig::table1(),
+        Some("fig8") => SimulationConfig::fig8(args.get_or("cores", 1)),
+        _ => SimulationConfig::quick_test(),
+    };
+    if let Some(nx) = args.get("nx") {
+        config.nx = nx;
+    }
+    if let Some(ny) = args.get("ny") {
+        config.ny = ny;
+    }
+    if let Some(nz) = args.get("nz") {
+        config.nz = nz;
+    }
+    if let Some(tau) = args.get("tau") {
+        config.tau = tau;
+    }
+    if let Some(gx) = args.get("gx") {
+        config.body_force = [gx, 0.0, 0.0];
+    }
+    if let Some(k) = args.get("cube-k") {
+        config.cube_k = k;
+    }
+    if args.get::<usize>("nx").is_some() || args.get::<usize>("sheet").is_some() {
+        // Re-centre the sheet for the chosen grid.
+        let n = args.get_or("sheet", config.sheet.num_fibers);
+        let extent = args.get_or("sheet-extent", (config.ny as f64 / 3.0).max(2.0));
+        config.sheet = SheetConfig::square(
+            n,
+            extent,
+            [config.nx as f64 / 4.0, config.ny as f64 / 2.0, config.nz as f64 / 2.0],
+        );
+    }
+    config.sheet.tether = match args.get::<String>("tether").as_deref() {
+        Some("center") => TetherConfig::CenterRegion {
+            radius: args.get_or("tether-radius", 3.0),
+            stiffness: args.get_or("tether-stiffness", 0.1),
+        },
+        Some("edge") => TetherConfig::LeadingEdge {
+            stiffness: args.get_or("tether-stiffness", 0.1),
+        },
+        Some("none") => TetherConfig::None,
+        _ => config.sheet.tether,
+    };
+    config
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        println!("see the module docs at the top of src/bin/lbmib.rs for usage");
+        return;
+    }
+
+    // Resume from a checkpoint, or build a fresh configuration.
+    let resumed_state = args.get::<String>("resume").map(|p| {
+        lbm_ib::checkpoint::load(std::path::Path::new(&p)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    });
+    let mut config = match &resumed_state {
+        Some(s) => s.config,
+        None => build_config(&args),
+    };
+    if let Err(e) = config.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+
+    let steps: u64 = args.get_or("steps", 100);
+    let threads: usize = args.get_or(
+        "threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let solver_name = args.get_or("solver", "cube".to_string());
+
+    if args.flag("autotune") && solver_name == "cube" {
+        let report = lbm_ib::tuning::autotune_cube_k(config, threads, None, 3);
+        println!("auto-tuning cube edge:\n{}", report.table());
+        config.cube_k = report.best_k();
+        println!("selected cube_k = {}", config.cube_k);
+    }
+
+    println!(
+        "lbmib: {}x{}x{} fluid, {}x{} sheet, tau {}, solver {}, {} threads, {} steps",
+        config.nx,
+        config.ny,
+        config.nz,
+        config.sheet.num_fibers,
+        config.sheet.nodes_per_fiber,
+        config.tau,
+        solver_name,
+        if solver_name == "seq" { 1 } else { threads },
+        steps
+    );
+
+    let initial_state = resumed_state.unwrap_or_else(|| SimState::new(config));
+    if initial_state.step > 0 {
+        println!("resumed at step {}", initial_state.step);
+    }
+    let mut solver = match solver_name.as_str() {
+        "seq" => Solver::Seq(SequentialSolver::from_state(initial_state)),
+        "omp" => Solver::Omp(OpenMpSolver::from_state(initial_state, threads)),
+        "cube" => Solver::Cube(CubeSolver::from_state(initial_state, threads)),
+        "dist" => Solver::Dist(DistributedSolver::from_state(initial_state, threads)),
+        other => {
+            eprintln!("error: unknown solver '{other}' (expected seq|omp|cube|dist)");
+            std::process::exit(1);
+        }
+    };
+
+    let out_dir: Option<PathBuf> = args.get::<String>("out").map(PathBuf::from);
+    let mut traj = out_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let mut w = BufWriter::new(File::create(dir.join("trajectory.csv")).unwrap());
+        trajectory_header(&mut w).unwrap();
+        w
+    });
+
+    let report_every: u64 = args.get_or("report-every", (steps / 10).max(1));
+    let t0 = std::time::Instant::now();
+    let mut done = 0u64;
+    let mut snapshot = 0usize;
+    let initial_mass = diagnostics(&solver.state()).mass;
+    while done < steps {
+        let n = report_every.min(steps - done);
+        solver.run(n);
+        done += n;
+        let state = solver.state();
+        let d = diagnostics(&state);
+        println!("{}", d.summary());
+        if let Err(e) = d.check_stability(initial_mass) {
+            eprintln!("UNSTABLE: {e}");
+            std::process::exit(2);
+        }
+        if let Some(dir) = &out_dir {
+            append_trajectory_row(&state, traj.as_mut().unwrap()).unwrap();
+            dump_sheet_snapshot(&state, dir, snapshot).unwrap();
+            snapshot += 1;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let state = solver.state();
+    println!(
+        "\ncompleted {steps} steps in {wall:.2} s ({:.1} Mnode-updates/s)",
+        steps as f64 * state.fluid.n() as f64 / wall / 1e6
+    );
+
+    if let Some(path) = args.get::<String>("save") {
+        lbm_ib::checkpoint::save(&state, std::path::Path::new(&path)).expect("save checkpoint");
+        println!("checkpoint written to {path}");
+    }
+    if args.flag("profile") {
+        println!("\nper-kernel profile:");
+        print!("{}", solver.profile_table());
+    }
+    if let Some(dir) = out_dir {
+        println!("output written to {}", dir.display());
+    }
+}

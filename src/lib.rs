@@ -1,0 +1,30 @@
+//! # lbm-ib-suite
+//!
+//! Top-level crate of the LBM-IB reproduction workspace. It re-exports the
+//! member crates for convenience and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! The actual functionality lives in:
+//!
+//! * [`lbm`] — the D3Q19 lattice Boltzmann fluid substrate;
+//! * [`ib`] — the immersed-boundary structure substrate;
+//! * [`lbm_ib`] — the coupled sequential / OpenMP-style / cube-centric
+//!   solvers;
+//! * [`cachesim`] — the cache-hierarchy simulator behind the Table II
+//!   reproduction.
+
+pub use cachesim;
+pub use ib;
+pub use lbm;
+pub use lbm_ib;
+
+/// Workspace version, shared by all member crates.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Integration tests: the coupled LBM-IB solvers against physics —
+//! conservation laws, analytic channel flow, and the qualitative behaviour
+//! of the immersed structure.
+
+use lbm::analytic::Poiseuille;
+use lbm_ib::diagnostics::diagnostics;
+use lbm_ib::{SequentialSolver, SheetConfig, SimulationConfig, TetherConfig};
+
+#[test]
+fn mass_conserved_over_long_coupled_run() {
+    let mut cfg = SimulationConfig::quick_test();
+    cfg.body_force = [4e-6, 0.0, 0.0];
+    let mut s = SequentialSolver::new(cfg);
+    let m0 = s.state.fluid.total_mass();
+    s.run(150);
+    let m1 = s.state.fluid.total_mass();
+    assert!(((m1 - m0) / m0).abs() < 1e-12, "mass drift {m0} -> {m1}");
+    assert!(!s.state.has_nan());
+}
+
+#[test]
+fn momentum_grows_by_body_force_between_walls_and_saturates() {
+    // In the tunnel, the x momentum added by the body force drains into
+    // the walls as the channel approaches steady state: kinetic energy
+    // must rise and then flatten, never explode.
+    let mut cfg = SimulationConfig::quick_test();
+    cfg.body_force = [5e-6, 0.0, 0.0];
+    let mut s = SequentialSolver::new(cfg);
+    let mut ke_prev = 0.0;
+    let mut increments = Vec::new();
+    for _ in 0..6 {
+        s.run(40);
+        let ke = diagnostics(&s.state).kinetic_energy;
+        increments.push(ke - ke_prev);
+        ke_prev = ke;
+    }
+    assert!(increments[0] > 0.0, "flow must start");
+    let last = *increments.last().unwrap();
+    assert!(
+        last < increments[1],
+        "energy growth should decelerate toward steady state: {increments:?}"
+    );
+    assert!(diagnostics(&s.state).max_velocity < 0.1);
+}
+
+#[test]
+fn coupled_solver_reaches_poiseuille_without_structure_influence() {
+    // A sheet with zero stiffness exerts no force: the coupled solver must
+    // reproduce plain Poiseuille channel flow between the y walls.
+    let g = 1e-6;
+    let mut cfg = SimulationConfig::quick_test();
+    cfg.nx = 16;
+    cfg.ny = 12;
+    cfg.nz = 12;
+    cfg.tau = 0.9;
+    cfg.body_force = [g, 0.0, 0.0];
+    cfg.sheet = SheetConfig {
+        k_bend: 0.0,
+        k_stretch: 0.0,
+        ..SheetConfig::square(4, 2.0, [6.0, 6.0, 6.0])
+    };
+    let mut s = SequentialSolver::new(cfg);
+    s.run(4000);
+    let relax = cfg.relaxation();
+    // The z walls also drag, so compare only the mid-z column profile
+    // against the y-parabola with a loose tolerance (the exact solution in
+    // a square duct is a double series; the parabola bounds the shape).
+    let profile = Poiseuille { ny: cfg.ny, g, nu: relax.viscosity() };
+    let dims = cfg.dims();
+    let mid_z = cfg.nz / 2;
+    let mid_y = cfg.ny / 2;
+    let center = s.state.fluid.ux[dims.idx(8, mid_y, mid_z)];
+    assert!(center > 0.5 * profile.u_max(), "duct centre too slow: {center}");
+    // Monotone decrease from the centre row toward the wall.
+    let mut prev = center;
+    for y in (0..mid_y).rev() {
+        let v = s.state.fluid.ux[dims.idx(8, y, mid_z)];
+        assert!(v <= prev + 1e-12, "profile not monotone at y={y}");
+        prev = v;
+    }
+    // No-slip wall rows are much slower than the centre.
+    let wall = s.state.fluid.ux[dims.idx(8, 0, mid_z)];
+    assert!(wall < 0.35 * center, "wall row {wall} vs centre {center}");
+}
+
+#[test]
+fn stiff_sheet_obstructs_the_flow() {
+    // Compared to a no-structure channel, a stiff tethered sheet blocking
+    // the cross-section must reduce the developed flow rate.
+    let mut base = SimulationConfig::quick_test();
+    base.body_force = [5e-6, 0.0, 0.0];
+    base.sheet = SheetConfig {
+        k_bend: 0.0,
+        k_stretch: 0.0,
+        ..SheetConfig::square(8, 4.0, [8.0, 8.0, 8.0])
+    };
+    let mut free = SequentialSolver::new(base);
+    free.run(250);
+
+    let mut blocked_cfg = base;
+    blocked_cfg.sheet = SheetConfig {
+        k_bend: 1e-3,
+        k_stretch: 5e-2,
+        // Hold the sheet in place so it acts as an obstacle.
+        tether: TetherConfig::CenterRegion { radius: 100.0, stiffness: 0.3 },
+        ..SheetConfig::square(12, 10.0, [8.0, 8.0, 8.0])
+    };
+    let mut blocked = SequentialSolver::new(blocked_cfg);
+    blocked.run(250);
+
+    let flux = |s: &SequentialSolver| -> f64 { s.state.fluid.ux.iter().sum() };
+    let f_free = flux(&free);
+    let f_blocked = flux(&blocked);
+    assert!(
+        f_blocked < 0.9 * f_free,
+        "obstacle should reduce flow: blocked {f_blocked} vs free {f_free}"
+    );
+}
+
+#[test]
+fn sheet_is_carried_and_deformed_by_the_flow() {
+    let mut cfg = SimulationConfig::quick_test();
+    cfg.nx = 32;
+    cfg.body_force = [6e-6, 0.0, 0.0];
+    cfg.sheet = SheetConfig {
+        k_bend: 2e-4,
+        k_stretch: 2e-2,
+        ..SheetConfig::square(10, 5.0, [10.0, 8.0, 8.0])
+    };
+    let mut s = SequentialSolver::new(cfg);
+    let x0 = s.state.sheet.centroid()[0];
+    s.run(200);
+    let x1 = s.state.sheet.centroid()[0];
+    assert!(x1 > x0 + 0.01, "sheet advected: {x0} -> {x1}");
+    // The channel profile is faster in the middle: the sheet must bow.
+    let (lo, hi) = s.state.sheet.bounding_box();
+    assert!(hi[0] - lo[0] > 1e-3, "sheet should bow in the shear flow");
+    assert!(!s.state.has_nan());
+}
+
+#[test]
+fn structure_force_on_fluid_balances_total_elastic_force() {
+    // After kernel 4 the Eulerian force (minus the body force) must equal
+    // the Lagrangian elastic force times the area element: the coupling is
+    // conservative.
+    let mut cfg = SimulationConfig::quick_test();
+    cfg.body_force = [0.0; 3];
+    let mut s = SequentialSolver::new(cfg);
+    s.run(5);
+    // Deform the sheet, recompute forces and spread them.
+    for (i, p) in s.state.sheet.pos.iter_mut().enumerate() {
+        p[0] += 0.02 * ((i % 7) as f64 - 3.0);
+    }
+    lbm_ib::kernels::compute_bending_force_in_fibers(&mut s.state);
+    lbm_ib::kernels::compute_stretching_force_in_fibers(&mut s.state);
+    lbm_ib::kernels::compute_elastic_force_in_fibers(&mut s.state);
+    lbm_ib::kernels::spread_force_from_fibers_to_fluid(&mut s.state);
+    let lag = s.state.sheet.total_elastic_force();
+    let area = s.state.sheet.area_element();
+    let eul = ib::spread::total_grid_force(&s.state.fluid);
+    for a in 0..3 {
+        assert!(
+            (eul[a] - lag[a] * area).abs() < 1e-10,
+            "axis {a}: grid {} vs structure {}",
+            eul[a],
+            lag[a] * area
+        );
+    }
+}
+
+#[test]
+fn table1_scale_config_runs_stably() {
+    // A scaled-down version of the paper's Table I input runs without NaN
+    // and with bounded velocity.
+    let mut cfg = SimulationConfig::table1();
+    cfg.nx = 32;
+    cfg.ny = 16;
+    cfg.nz = 16;
+    cfg.sheet = SheetConfig {
+        tether: TetherConfig::CenterRegion { radius: 2.0, stiffness: 5e-2 },
+        ..SheetConfig::square(13, 5.0, [8.0, 8.0, 8.0])
+    };
+    cfg.validate().unwrap();
+    let mut s = SequentialSolver::new(cfg);
+    let m0 = s.state.fluid.total_mass();
+    s.run(100);
+    let d = diagnostics(&s.state);
+    d.check_stability(m0).unwrap();
+}
