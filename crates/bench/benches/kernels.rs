@@ -33,9 +33,17 @@ fn warmed_state() -> SimState {
 
 fn grid_32() -> FluidGrid {
     let mut g = FluidGrid::new(Dims::new(32, 32, 32));
-    initialize_equilibrium(&mut g, |_, _, _| 1.0, |x, y, _| {
-        [0.01 * (x as f64 * 0.2).sin(), 0.01 * (y as f64 * 0.3).cos(), 0.0]
-    });
+    initialize_equilibrium(
+        &mut g,
+        |_, _, _| 1.0,
+        |x, y, _| {
+            [
+                0.01 * (x as f64 * 0.2).sin(),
+                0.01 * (y as f64 * 0.3).cos(),
+                0.0,
+            ]
+        },
+    );
     g
 }
 
@@ -49,14 +57,26 @@ fn node_kernels(c: &mut Criterion) {
     group.bench_function("bgk_collide_node", |b| {
         b.iter(|| {
             let mut fl = f;
-            bgk_collide_node(black_box(&mut fl), 1.0, [0.01, 0.02, 0.0], [1e-5, 0.0, 0.0], 0.8);
+            bgk_collide_node(
+                black_box(&mut fl),
+                1.0,
+                [0.01, 0.02, 0.0],
+                [1e-5, 0.0, 0.0],
+                0.8,
+            );
             fl
         })
     });
     group.bench_function("trt_collide_node", |b| {
         b.iter(|| {
             let mut fl = f;
-            trt_collide_node(black_box(&mut fl), 1.0, [0.01, 0.02, 0.0], [1e-5, 0.0, 0.0], 0.8);
+            trt_collide_node(
+                black_box(&mut fl),
+                1.0,
+                [0.01, 0.02, 0.0],
+                [1e-5, 0.0, 0.0],
+                0.8,
+            );
             fl
         })
     });
@@ -214,5 +234,11 @@ fn coupling_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, node_kernels, fluid_kernels, fiber_kernels, coupling_kernels);
+criterion_group!(
+    benches,
+    node_kernels,
+    fluid_kernels,
+    fiber_kernels,
+    coupling_kernels
+);
 criterion_main!(benches);

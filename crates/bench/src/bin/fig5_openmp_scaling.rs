@@ -29,12 +29,18 @@ fn main() {
         config.sheet = SheetConfig::square(
             n,
             (20.0 / shrink as f64).max(2.0),
-            [config.nx as f64 / 4.0, config.ny as f64 / 2.0, config.nz as f64 / 2.0],
+            [
+                config.nx as f64 / 4.0,
+                config.ny as f64 / 2.0,
+                config.nz as f64 / 2.0,
+            ],
         );
     }
     config.validate().expect("config");
 
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("Figure 5 reproduction: OpenMP strong scaling");
     println!(
         "input: {}x{}x{} fluid, {}x{} fibers, {steps} steps; hardware cores: {hw}",

@@ -20,7 +20,9 @@ fn main() {
     let threads: usize = args.get_or("threads", 8);
     let policy = match args.get::<String>("policy").as_deref() {
         Some("cyclic") => Policy::Cyclic,
-        Some("blockcyclic") => Policy::BlockCyclic { block: args.get_or("block", 2) },
+        Some("blockcyclic") => Policy::BlockCyclic {
+            block: args.get_or("block", 2),
+        },
         _ => Policy::Block,
     };
 
@@ -52,7 +54,10 @@ fn main() {
     let min = loads.iter().min().unwrap();
     println!("load balance: min {min}, max {max} cubes/thread");
     if nx == 4 && ny == 4 && nz == 4 && k == 2 && threads == 8 {
-        assert!(loads.iter().all(|&l| l == 1), "Figure 6: each thread owns exactly one cube");
+        assert!(
+            loads.iter().all(|&l| l == 1),
+            "Figure 6: each thread owns exactly one cube"
+        );
         println!("figure-6 check: each thread owns exactly one cube ✓");
     }
 }

@@ -28,13 +28,26 @@ fn main() {
     let steps: u64 = args.get_or("steps", if full { 200 } else { 5 });
     let cores = args.get_list("cores", &[1, 2, 4, 8, 16, 32, 64]);
 
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("Figure 8 reproduction: weak scaling, OpenMP vs cube-based");
-    println!("per-core grid: {}^3 / shrink {shrink}; {steps} steps; hardware cores: {hw}", 128);
+    println!(
+        "per-core grid: {}^3 / shrink {shrink}; {steps} steps; hardware cores: {hw}",
+        128
+    );
     println!();
     println!(
         "{:>6} {:>16} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>7}",
-        "cores", "grid", "omp wall", "omp busy", "omp im%", "cube wall", "cube busy", "cube im%", "gap %"
+        "cores",
+        "grid",
+        "omp wall",
+        "omp busy",
+        "omp im%",
+        "cube wall",
+        "cube busy",
+        "cube im%",
+        "gap %"
     );
     println!("{}", lbm_ib_bench::rule(104));
 
@@ -96,12 +109,21 @@ fn main() {
         // Replay one thread's per-step access trace of each layout through
         // the simulated thog cache hierarchy at each weak-scaling point.
         println!();
-        println!("locality mechanism (cache simulator, one thread's work, L2 shared when cores > 1):");
+        println!(
+            "locality mechanism (cache simulator, one thread's work, L2 shared when cores > 1):"
+        );
         println!("DRAM B/node = bytes fetched from memory per owned fluid node per step —");
         println!("the bandwidth-bottleneck quantity the paper's argument rests on.");
         println!(
             "{:>6} {:>16} | {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11}",
-            "cores", "grid", "flat L1%", "flat L2%", "flat DRAM/n", "cube L1%", "cube L2%", "cube DRAM/n"
+            "cores",
+            "grid",
+            "flat L1%",
+            "flat L2%",
+            "flat DRAM/n",
+            "cube L1%",
+            "cube L2%",
+            "cube DRAM/n"
         );
         println!("{}", lbm_ib_bench::rule(96));
         for &n in &cores {
@@ -116,8 +138,7 @@ fn main() {
             let cdims = CubeDims::new(dims, config.cube_k);
             let dist = CubeDistribution::block(n);
             let owner = dist.ownership_table(&cdims);
-            let my_cubes: Vec<usize> =
-                (0..cdims.num_cubes()).filter(|&c| owner[c] == 0).collect();
+            let my_cubes: Vec<usize> = (0..cdims.num_cubes()).filter(|&c| owner[c] == 0).collect();
             let cube = simulate_cube(cdims, &my_cubes, sharers, 1);
             let flat_nodes = (dims.n() / n).max(1) as f64;
             let cube_nodes = (my_cubes.len() * cdims.nodes_per_cube()).max(1) as f64;

@@ -26,7 +26,11 @@ fn main() {
         config.sheet = lbm_ib::SheetConfig::square(
             n,
             (20.0 / shrink as f64).max(2.0),
-            [config.nx as f64 / 4.0, config.ny as f64 / 2.0, config.nz as f64 / 2.0],
+            [
+                config.nx as f64 / 4.0,
+                config.ny as f64 / 2.0,
+                config.nz as f64 / 2.0,
+            ],
         );
     }
     config.validate().expect("config");
@@ -76,9 +80,16 @@ fn main() {
         + pct(KernelId::CopyDistributions)
         + pct(KernelId::Stream);
     println!("\nshape checks (paper narrative):");
-    println!("  4 fluid-node kernels (5,6,7,9) >= 90%: {} ({fluid4:.1}%)", fluid4 >= 90.0);
-    let fiber = pct(KernelId::BendingForce) + pct(KernelId::StretchingForce) + pct(KernelId::ElasticForce);
-    println!("  fiber force kernels (1,2,3) <= 2%:     {} ({fiber:.2}%)", fiber <= 2.0);
+    println!(
+        "  4 fluid-node kernels (5,6,7,9) >= 90%: {} ({fluid4:.1}%)",
+        fluid4 >= 90.0
+    );
+    let fiber =
+        pct(KernelId::BendingForce) + pct(KernelId::StretchingForce) + pct(KernelId::ElasticForce);
+    println!(
+        "  fiber force kernels (1,2,3) <= 2%:     {} ({fiber:.2}%)",
+        fiber <= 2.0
+    );
     println!(
         "  collision among top-2 kernels:         {} ({:.1}%)",
         measured[..2].iter().any(|r| r.0 == KernelId::Collision),

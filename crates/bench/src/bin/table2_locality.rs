@@ -33,7 +33,11 @@ fn main() {
         config.sheet = SheetConfig::square(
             n,
             (20.0 / shrink as f64).max(2.0),
-            [config.nx as f64 / 4.0, config.ny as f64 / 2.0, config.nz as f64 / 2.0],
+            [
+                config.nx as f64 / 4.0,
+                config.ny as f64 / 2.0,
+                config.nz as f64 / 2.0,
+            ],
         );
     }
     config.validate().expect("config");
@@ -64,7 +68,9 @@ fn main() {
         let imbal = solver.imbalance.imbalance_percent();
 
         let paper = PAPER_TABLE2.iter().find(|r| r.0 == n);
-        let (p1, p2, pi) = paper.map(|r| (r.1, r.2, r.3)).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let (p1, p2, pi) = paper
+            .map(|r| (r.1, r.2, r.3))
+            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
         println!(
             "{n:>6} {:>9.2} {:>9.2} {:>11.2} | {p1:>9.2} {p2:>9.2} {pi:>11.1}",
             report.l1_miss_percent, report.l2_miss_percent, imbal

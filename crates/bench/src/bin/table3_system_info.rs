@@ -27,7 +27,9 @@ fn main() {
     let model = cpuinfo_field("model name").unwrap_or_else(|| "unknown".into());
     println!("Processor type        : {model}  [AMD Opteron 6380 2.5 GHz]");
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("Logical cores         : {cores}  [4 processors x 16 cores = 64]");
 
     // Cache hierarchy from sysfs (cpu0's view).
@@ -86,6 +88,9 @@ fn main() {
     }
 
     println!();
-    println!("OS                    : {}", read("/proc/sys/kernel/osrelease").unwrap_or_default());
+    println!(
+        "OS                    : {}",
+        read("/proc/sys/kernel/osrelease").unwrap_or_default()
+    );
     println!("  [paper: Linux 3.9.0, gcc 4.6.3, compiled -O3, run with numactl --interleave=all]");
 }

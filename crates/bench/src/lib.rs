@@ -17,12 +17,16 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn parse() -> Self {
-        Self { raw: std::env::args().skip(1).collect() }
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// For tests: build from a list.
     pub fn from_list(list: &[&str]) -> Self {
-        Self { raw: list.iter().map(|s| s.to_string()).collect() }
+        Self {
+            raw: list.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// True if `--name` is present.
@@ -99,7 +103,8 @@ pub const PAPER_TABLE2: [(usize, f64, f64, f64); 6] = [
 ];
 
 /// The paper's Figure 5 parallel efficiencies (strong scaling, OpenMP).
-pub const PAPER_FIG5_EFFICIENCY: [(usize, f64); 4] = [(1, 100.0), (8, 75.0), (16, 56.0), (32, 38.0)];
+pub const PAPER_FIG5_EFFICIENCY: [(usize, f64); 4] =
+    [(1, 100.0), (8, 75.0), (16, 56.0), (32, 38.0)];
 
 /// The paper's Figure 8 narrative: per-doubling execution-time growth of
 /// each implementation (percent increase when cores double), and the final
@@ -133,7 +138,10 @@ mod tests {
     #[test]
     fn paper_constants_are_consistent() {
         let total: f64 = PAPER_TABLE1.iter().map(|r| r.2).sum();
-        assert!(total > 99.0 && total <= 100.5, "Table I sums to ~100%: {total}");
+        assert!(
+            total > 99.0 && total <= 100.5,
+            "Table I sums to ~100%: {total}"
+        );
         assert_eq!(PAPER_TABLE2.len(), 6);
     }
 }

@@ -3,12 +3,18 @@ use lbm::cube_grid::CubeDims;
 use lbm::grid::Dims;
 
 fn main() {
-    for (dims, label) in [(Dims::new(16,16,16), "16^3"), (Dims::new(32,48,48), "32x48x48"), (Dims::new(64,64,64), "64^3")] {
+    for (dims, label) in [
+        (Dims::new(16, 16, 16), "16^3"),
+        (Dims::new(32, 48, 48), "32x48x48"),
+        (Dims::new(64, 64, 64), "64^3"),
+    ] {
         let rf = simulate_flat(dims, 0..dims.nx, 2, 2);
         let cd = CubeDims::new(dims, 4);
         let cubes: Vec<usize> = (0..cd.num_cubes()).collect();
         let rc = simulate_cube(cd, &cubes, 2, 2);
-        println!("{label}: flat L1 {:.2}% L2 {:.2}% | cube L1 {:.2}% L2 {:.2}%",
-            rf.l1_miss_percent, rf.l2_miss_percent, rc.l1_miss_percent, rc.l2_miss_percent);
+        println!(
+            "{label}: flat L1 {:.2}% L2 {:.2}% | cube L1 {:.2}% L2 {:.2}%",
+            rf.l1_miss_percent, rf.l2_miss_percent, rc.l1_miss_percent, rc.l2_miss_percent
+        );
     }
 }

@@ -21,31 +21,49 @@ impl CacheConfig {
 
     /// Validates the geometry.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways >= 1);
         assert!(
             self.size_bytes % (self.ways * self.line_bytes) == 0,
             "capacity must be a whole number of sets"
         );
-        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 
     /// The L1 data cache of the paper's `thog` machine: 16 KB per core
     /// (64-byte lines, 4-way).
     pub fn thog_l1() -> Self {
-        Self { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 }
+        Self {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
     }
 
     /// The L2 of `thog`: 2 MB shared by two cores (64-byte lines, 16-way).
     pub fn thog_l2() -> Self {
-        Self { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64 }
+        Self {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 
     /// Halves the effective capacity (a core sharing the cache with an
     /// equally active neighbour) while keeping line size and sets/ways
     /// consistent.
     pub fn shared_by(&self, sharers: usize) -> Self {
-        assert!(sharers >= 1 && self.ways % sharers == 0, "cannot split {} ways by {sharers}", self.ways);
+        assert!(
+            sharers >= 1 && self.ways % sharers == 0,
+            "cannot split {} ways by {sharers}",
+            self.ways
+        );
         Self {
             size_bytes: self.size_bytes / sharers,
             ways: self.ways / sharers,
@@ -189,7 +207,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -231,7 +253,11 @@ mod tests {
 
     #[test]
     fn sequential_stream_miss_rate_is_line_granular() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        });
         // 8-byte sequential accesses: one miss per 64-byte line → 12.5%.
         for i in 0..100_000u64 {
             c.access(i * 8);
@@ -241,7 +267,11 @@ mod tests {
 
     #[test]
     fn working_set_that_fits_hits_after_warmup() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        });
         // 8 KB working set, swept repeatedly.
         for _round in 0..10 {
             for i in 0..1024u64 {
@@ -254,7 +284,11 @@ mod tests {
 
     #[test]
     fn working_set_exceeding_capacity_thrashes() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        });
         // 64 KB working set swept repeatedly with LRU → every line evicted
         // before reuse → miss per line every sweep.
         for _round in 0..5 {
@@ -280,13 +314,19 @@ mod tests {
         // Model check: replay a random trace against a reference LRU
         // implementation (vector of recently-used line tags per set).
         use std::collections::VecDeque;
-        let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 };
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut cache = Cache::new(cfg);
         let sets = cfg.num_sets();
         let mut model: Vec<VecDeque<u64>> = vec![VecDeque::new(); sets];
         let mut rng = 0x12345678u64;
         for _ in 0..20_000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (rng >> 16) % 8192; // 128 lines over 8 sets
             let line = addr >> 6;
             let set = (line as usize) % sets;
@@ -300,13 +340,20 @@ mod tests {
             model[set].push_front(line);
             model[set].truncate(cfg.ways);
         }
-        assert!(cache.hits > 0 && cache.misses > 0, "trace must exercise both paths");
+        assert!(
+            cache.hits > 0 && cache.misses > 0,
+            "trace must exercise both paths"
+        );
     }
 
     #[test]
     fn conflict_misses_in_low_associativity() {
         // Direct-mapped: two lines in the same set always conflict.
-        let mut c = Cache::new(CacheConfig { size_bytes: 256, ways: 1, line_bytes: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 1,
+            line_bytes: 64,
+        });
         for _ in 0..10 {
             c.access(0x0000);
             c.access(0x0100); // same set (4 sets → stride 256)

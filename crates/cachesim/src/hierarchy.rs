@@ -24,7 +24,12 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Builds a hierarchy from the two level configs (no prefetching).
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
-        Self { l1: Cache::new(l1), l2: Cache::new(l2), prefetch_depth: 0, prefetches: 0 }
+        Self {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            prefetch_depth: 0,
+            prefetches: 0,
+        }
     }
 
     /// The paper's `thog` machine as seen by one core, with the stream
@@ -32,7 +37,10 @@ impl Hierarchy {
     /// (`thog` shares each 2 MB L2 between two cores), pass
     /// `l2_sharers = 2` to model the halved effective capacity.
     pub fn thog(l2_sharers: usize) -> Self {
-        let mut h = Self::new(CacheConfig::thog_l1(), CacheConfig::thog_l2().shared_by(l2_sharers));
+        let mut h = Self::new(
+            CacheConfig::thog_l1(),
+            CacheConfig::thog_l2().shared_by(l2_sharers),
+        );
         h.prefetch_depth = 4;
         h
     }
@@ -80,8 +88,16 @@ mod tests {
     #[test]
     fn l2_sees_only_l1_misses() {
         let mut h = Hierarchy::new(
-            CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 },
-            CacheConfig { size_bytes: 4096, ways: 4, line_bytes: 64 },
+            CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+            },
         );
         h.access(0);
         h.access(0);
@@ -93,8 +109,16 @@ mod tests {
     #[test]
     fn medium_working_set_hits_l2_not_l1() {
         let mut h = Hierarchy::new(
-            CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 },
-            CacheConfig { size_bytes: 64 * 1024, ways: 8, line_bytes: 64 },
+            CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
         );
         // 8 KB working set: thrashes the 1 KB L1 but fits L2. After the
         // cold sweep every L2 lookup hits, so the L2 miss rate decays
@@ -111,8 +135,16 @@ mod tests {
     #[test]
     fn prefetcher_rescues_streaming_workload() {
         let cfgs = (
-            CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 },
-            CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 },
+            CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
         );
         let mut plain = Hierarchy::new(cfgs.0, cfgs.1);
         let mut pf = Hierarchy::new(cfgs.0, cfgs.1);
@@ -122,7 +154,11 @@ mod tests {
             plain.access(i * 8);
             pf.access(i * 8);
         }
-        assert!(plain.l2_miss_percent() > 90.0, "{}", plain.l2_miss_percent());
+        assert!(
+            plain.l2_miss_percent() > 90.0,
+            "{}",
+            plain.l2_miss_percent()
+        );
         assert!(pf.l2_miss_percent() < 25.0, "{}", pf.l2_miss_percent());
         assert!(pf.prefetches > 0);
     }
@@ -130,8 +166,16 @@ mod tests {
     #[test]
     fn huge_working_set_misses_both() {
         let mut h = Hierarchy::new(
-            CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 },
-            CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 },
+            CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
         );
         for _round in 0..3 {
             for i in 0..32 * 1024u64 {

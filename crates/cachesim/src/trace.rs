@@ -24,8 +24,8 @@ pub struct MemoryMap {
     base_f: u64,
     base_f_new: u64,
     base_rho: u64,
-    base_u: u64,   // ux, uy, uz consecutive arrays
-    base_ueq: u64, // ueqx..z
+    base_u: u64,     // ux, uy, uz consecutive arrays
+    base_ueq: u64,   // ueqx..z
     base_force: u64, // fx..z
 }
 
@@ -41,7 +41,15 @@ impl MemoryMap {
         let base_u = base_rho + s_bytes;
         let base_ueq = base_u + 3 * s_bytes;
         let base_force = base_ueq + 3 * s_bytes;
-        Self { n, base_f, base_f_new, base_rho, base_u, base_ueq, base_force }
+        Self {
+            n,
+            base_f,
+            base_f_new,
+            base_rho,
+            base_u,
+            base_ueq,
+            base_force,
+        }
     }
 
     #[inline]
@@ -262,7 +270,12 @@ pub fn simulate_flat(
 
 /// Replays `steps` cube-layout time steps (one thread's cube set) through a
 /// fresh `thog` hierarchy and reports miss rates.
-pub fn simulate_cube(cdims: CubeDims, cubes: &[usize], l2_sharers: usize, steps: usize) -> MissReport {
+pub fn simulate_cube(
+    cdims: CubeDims,
+    cubes: &[usize],
+    l2_sharers: usize,
+    steps: usize,
+) -> MissReport {
     let mut h = Hierarchy::thog(l2_sharers);
     for _ in 0..steps {
         cube_step_trace(cdims, cubes, |a| h.access(a));
@@ -366,7 +379,11 @@ mod tests {
         let dims = Dims::new(16, 32, 32);
         let full = simulate_flat(dims, 0..16, 1, 2);
         let shared = simulate_flat(dims, 0..16, 2, 2);
-        assert!(shared.l2_miss_percent >= full.l2_miss_percent - 0.5,
-            "shared {} vs full {}", shared.l2_miss_percent, full.l2_miss_percent);
+        assert!(
+            shared.l2_miss_percent >= full.l2_miss_percent - 0.5,
+            "shared {} vs full {}",
+            shared.l2_miss_percent,
+            full.l2_miss_percent
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! `std::sync::Barrier`, which the solver also supports for comparison
 //! (the barrier ablation benchmark measures the difference).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync_shim::{spin_wait, yield_wait, AtomicUsize, Ordering};
 
 /// Spinning barrier for a fixed set of `n` threads.
 ///
@@ -25,7 +25,11 @@ impl SpinBarrier {
     /// Barrier for `n` threads.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one thread");
-        Self { n, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
     }
 
     /// Number of participating threads.
@@ -48,13 +52,13 @@ impl SpinBarrier {
             while self.generation.load(Ordering::Acquire) == gen {
                 spins += 1;
                 if spins < 64 {
-                    std::hint::spin_loop();
+                    spin_wait();
                 } else {
                     // Be polite on oversubscribed machines: after a short
                     // spin, yield the time slice so the remaining threads
                     // can run (essential when threads > cores, which is how
                     // the scaling harnesses run on small machines).
-                    std::thread::yield_now();
+                    yield_wait();
                 }
             }
             false

@@ -108,7 +108,9 @@ impl<R: Read> Dec<R> {
     fn f64s(&mut self, expect: usize) -> Result<Vec<f64>, CheckpointError> {
         let n = self.u64()? as usize;
         if n != expect {
-            return Err(CheckpointError::Format(format!("array length {n}, expected {expect}")));
+            return Err(CheckpointError::Format(format!(
+                "array length {n}, expected {expect}"
+            )));
         }
         let mut out = vec![0.0; n];
         let mut buf = vec![0u8; 8 * 1024.min(n.max(1))];
@@ -127,7 +129,9 @@ impl<R: Read> Dec<R> {
     fn vec3s(&mut self, expect: usize) -> Result<Vec<[f64; 3]>, CheckpointError> {
         let n = self.u64()? as usize;
         if n != expect {
-            return Err(CheckpointError::Format(format!("node count {n}, expected {expect}")));
+            return Err(CheckpointError::Format(format!(
+                "node count {n}, expected {expect}"
+            )));
         }
         let mut out = vec![[0.0; 3]; n];
         for p in out.iter_mut() {
@@ -145,7 +149,10 @@ impl<R: Read> Dec<R> {
                 for c in v.iter_mut() {
                     *c = self.f64()?;
                 }
-                Ok(AxisBoundary::Walls { lo: [v[0], v[1], v[2]], hi: [v[3], v[4], v[5]] })
+                Ok(AxisBoundary::Walls {
+                    lo: [v[0], v[1], v[2]],
+                    hi: [v[3], v[4], v[5]],
+                })
             }
             k => Err(CheckpointError::Format(format!("unknown axis kind {k}"))),
         }
@@ -273,7 +280,11 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
     let nz = d.u64()? as usize;
     let tau = d.f64()?;
     let body_force = [d.f64()?, d.f64()?, d.f64()?];
-    let bc = BoundaryConfig { x: d.axis()?, y: d.axis()?, z: d.axis()? };
+    let bc = BoundaryConfig {
+        x: d.axis()?,
+        y: d.axis()?,
+        z: d.axis()?,
+    };
     let delta = delta_from(d.u64()?)?;
     let cube_k = d.u64()? as usize;
     let num_fibers = d.u64()? as usize;
@@ -285,8 +296,13 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
     let k_stretch = d.f64()?;
     let tether = match d.u64()? {
         0 => TetherConfig::None,
-        1 => TetherConfig::CenterRegion { radius: d.f64()?, stiffness: d.f64()? },
-        2 => TetherConfig::LeadingEdge { stiffness: d.f64()? },
+        1 => TetherConfig::CenterRegion {
+            radius: d.f64()?,
+            stiffness: d.f64()?,
+        },
+        2 => TetherConfig::LeadingEdge {
+            stiffness: d.f64()?,
+        },
         k => return Err(CheckpointError::Format(format!("unknown tether kind {k}"))),
     };
     let config = SimulationConfig {
@@ -309,7 +325,9 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
         },
         cube_k,
     };
-    config.validate().map_err(|e| CheckpointError::Format(e.0))?;
+    config
+        .validate()
+        .map_err(|e| CheckpointError::Format(e.0))?;
 
     let n = nx * ny * nz;
     let mut fluid = FluidGrid::new(lbm::grid::Dims::new(nx, ny, nz));
@@ -346,25 +364,41 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
 
     let n_tethers = d.u64()? as usize;
     if n_tethers > n_nodes {
-        return Err(CheckpointError::Format(format!("{n_tethers} tethers for {n_nodes} nodes")));
+        return Err(CheckpointError::Format(format!(
+            "{n_tethers} tethers for {n_nodes} nodes"
+        )));
     }
     let mut tethers = Vec::with_capacity(n_tethers);
     for _ in 0..n_tethers {
         let node = d.u64()? as usize;
         if node >= n_nodes {
-            return Err(CheckpointError::Format(format!("tether node {node} out of range")));
+            return Err(CheckpointError::Format(format!(
+                "tether node {node} out of range"
+            )));
         }
         let anchor = [d.f64()?, d.f64()?, d.f64()?];
         let stiffness = d.f64()?;
-        tethers.push(Tether { node, anchor, stiffness });
+        tethers.push(Tether {
+            node,
+            anchor,
+            stiffness,
+        });
     }
 
     let step = d.u64()?;
     if d.u64()? != 0xC0DA_F00D_u64 {
-        return Err(CheckpointError::Format("trailing guard mismatch (truncated?)".into()));
+        return Err(CheckpointError::Format(
+            "trailing guard mismatch (truncated?)".into(),
+        ));
     }
 
-    Ok(SimState { config, fluid, sheet, tethers: TetherSet { tethers }, step })
+    Ok(SimState {
+        config,
+        fluid,
+        sheet,
+        tethers: TetherSet { tethers },
+        step,
+    })
 }
 
 /// Saves a checkpoint file.
@@ -385,7 +419,10 @@ mod tests {
 
     fn evolved_state() -> SimState {
         let mut cfg = SimulationConfig::quick_test();
-        cfg.sheet.tether = TetherConfig::CenterRegion { radius: 2.0, stiffness: 0.1 };
+        cfg.sheet.tether = TetherConfig::CenterRegion {
+            radius: 2.0,
+            stiffness: 0.1,
+        };
         let mut s = SequentialSolver::new(cfg);
         s.run(7);
         s.state
@@ -419,7 +456,10 @@ mod tests {
         resumed.run(6);
 
         assert_eq!(resumed.state.step, full.state.step);
-        assert_eq!(resumed.state.fluid.f, full.state.fluid.f, "resume must be bit-exact");
+        assert_eq!(
+            resumed.state.fluid.f, full.state.fluid.f,
+            "resume must be bit-exact"
+        );
         assert_eq!(resumed.state.sheet.pos, full.state.sheet.pos);
     }
 

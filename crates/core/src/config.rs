@@ -7,10 +7,9 @@ use ib::tether::TetherSet;
 use lbm::boundary::{AxisBoundary, BoundaryConfig};
 use lbm::collision::Relaxation;
 use lbm::grid::Dims;
-use serde::{Deserialize, Serialize};
 
 /// How (and whether) the sheet is anchored.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TetherConfig {
     /// Free sheet (the moving sheet of Figures 7/8).
     None,
@@ -21,7 +20,7 @@ pub enum TetherConfig {
 }
 
 /// Geometry and material of the immersed fiber sheet.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SheetConfig {
     /// Number of fibers (and, for the paper's square sheets, nodes per
     /// fiber; the struct allows rectangles).
@@ -84,7 +83,7 @@ impl SheetConfig {
 }
 
 /// Full configuration of a coupled LBM-IB simulation.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SimulationConfig {
     /// Fluid grid dimensions.
     pub nx: usize,
@@ -219,7 +218,10 @@ impl SimulationConfig {
             bc: BoundaryConfig::tunnel(),
             delta: DeltaKind::Peskin4,
             sheet: SheetConfig {
-                tether: TetherConfig::CenterRegion { radius: 5.0, stiffness: 5e-2 },
+                tether: TetherConfig::CenterRegion {
+                    radius: 5.0,
+                    stiffness: 5e-2,
+                },
                 ..SheetConfig::square(52, 20.0, [30.0, 32.0, 32.0])
             },
             cube_k: 4,
@@ -231,7 +233,10 @@ impl SimulationConfig {
     /// (x first, then y, then z, as in the paper), sheet fixed at 104×104
     /// fiber nodes.
     pub fn fig8(cores: usize) -> Self {
-        assert!(cores.is_power_of_two() && cores >= 1, "cores must be a power of two");
+        assert!(
+            cores.is_power_of_two() && cores >= 1,
+            "cores must be a power of two"
+        );
         let mut dims = [128usize, 128, 128];
         let mut c = cores;
         let mut axis = 0;
@@ -251,7 +256,11 @@ impl SimulationConfig {
             sheet: SheetConfig::square(
                 104,
                 40.0,
-                [dims[0] as f64 / 4.0, dims[1] as f64 / 2.0, dims[2] as f64 / 2.0],
+                [
+                    dims[0] as f64 / 4.0,
+                    dims[1] as f64 / 2.0,
+                    dims[2] as f64 / 2.0,
+                ],
             ),
             cube_k: 4,
         }
@@ -297,7 +306,10 @@ mod tests {
         assert!((c.sheet.width - 20.0).abs() < 1e-12);
         let (sheet, tethers) = c.sheet.build();
         assert_eq!(sheet.n(), 52 * 52);
-        assert!(!tethers.is_empty(), "Table I plate is fastened in the middle");
+        assert!(
+            !tethers.is_empty(),
+            "Table I plate is fastened in the middle"
+        );
     }
 
     #[test]
@@ -363,10 +375,10 @@ mod tests {
 
     #[test]
     fn config_is_copy_and_debug() {
-        // The config derives Serialize/Deserialize (checked at compile time
-        // by the derive) and stays a cheap Copy value.
-        fn assert_serde<T: serde::Serialize + for<'d> serde::Deserialize<'d>>() {}
-        assert_serde::<SimulationConfig>();
+        // The config stays a cheap Copy value that workers can capture by
+        // value without reference counting.
+        fn assert_copy<T: Copy + Send + Sync + 'static>() {}
+        assert_copy::<SimulationConfig>();
         let c = SimulationConfig::table1();
         let c2 = c;
         assert_eq!(format!("{c:?}"), format!("{c2:?}"));

@@ -36,7 +36,7 @@ use lbm::distribution::{CubeDistribution, FiberDistribution, Policy, ThreadMesh}
 use lbm::grid::Dims;
 use lbm::lattice::Q;
 use lbm::macroscopic::node_moments_shifted;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::barrier::{BarrierKind, PhaseBarrier};
 use crate::config::SimulationConfig;
@@ -85,13 +85,22 @@ impl CubeIndexer {
             cube_of[a] = (0..ext[a]).map(|v| v / cdims.k).collect();
             local_of[a] = (0..ext[a]).map(|v| v % cdims.k).collect();
         }
-        Self { cy: cdims.cy, cz: cdims.cz, k: cdims.k, npc: cdims.nodes_per_cube(), cube_of, local_of }
+        Self {
+            cy: cdims.cy,
+            cz: cdims.cz,
+            k: cdims.k,
+            npc: cdims.nodes_per_cube(),
+            cube_of,
+            local_of,
+        }
     }
 
     #[inline]
     fn flat(&self, x: usize, y: usize, z: usize) -> usize {
-        let cube = (self.cube_of[0][x] * self.cy + self.cube_of[1][y]) * self.cz + self.cube_of[2][z];
-        let local = (self.local_of[0][x] * self.k + self.local_of[1][y]) * self.k + self.local_of[2][z];
+        let cube =
+            (self.cube_of[0][x] * self.cy + self.cube_of[1][y]) * self.cz + self.cube_of[2][z];
+        let local =
+            (self.local_of[0][x] * self.k + self.local_of[1][y]) * self.k + self.local_of[2][z];
         cube * self.npc + local
     }
 }
@@ -200,26 +209,42 @@ impl CubeSolver {
         let nn = topo.nodes_per_fiber;
 
         // Static data distribution (the paper's cube2thread / fiber2thread).
-        let dist = CubeDistribution { mesh: self.thread_mesh(), policy: self.policy };
+        let dist = CubeDistribution {
+            mesh: self.thread_mesh(),
+            policy: self.policy,
+        };
         let owner = dist.ownership_table(&cdims);
-        let fdist = FiberDistribution { n_threads, policy: Policy::Block };
+        let fdist = FiberDistribution {
+            n_threads,
+            policy: Policy::Block,
+        };
 
         let mut plans: Vec<WorkerPlan> = (0..n_threads)
-            .map(|tid| WorkerPlan { tid, my_cubes: Vec::new(), my_fibers: Vec::new(), my_tethers: Vec::new() })
+            .map(|tid| WorkerPlan {
+                tid,
+                my_cubes: Vec::new(),
+                my_fibers: Vec::new(),
+                my_tethers: Vec::new(),
+            })
             .collect();
         for (cube, &o) in owner.iter().enumerate() {
             plans[o].my_cubes.push(cube);
         }
         for fiber in 0..topo.num_fibers {
-            plans[fdist.fiber2thread(fiber, topo.num_fibers)].my_fibers.push(fiber);
+            plans[fdist.fiber2thread(fiber, topo.num_fibers)]
+                .my_fibers
+                .push(fiber);
         }
         for t in &self.tethers.tethers {
             let fiber = t.node / nn;
-            plans[fdist.fiber2thread(fiber, topo.num_fibers)].my_tethers.push(*t);
+            plans[fdist.fiber2thread(fiber, topo.num_fibers)]
+                .my_tethers
+                .push(*t);
         }
 
         // Move the state into shared form for the worker team.
-        let grid = SharedCubeGrid::new(std::mem::replace(&mut self.grid, CubeFluidGrid::new(cdims)));
+        let grid =
+            SharedCubeGrid::new(std::mem::replace(&mut self.grid, CubeFluidGrid::new(cdims)));
         let sheet_pos = SharedSlice::from_vec(std::mem::take(&mut self.sheet.pos));
         let sheet_bend = SharedSlice::from_vec(std::mem::take(&mut self.sheet.bending));
         let sheet_stretch = SharedSlice::from_vec(std::mem::take(&mut self.sheet.stretching));
@@ -259,7 +284,10 @@ impl CubeSolver {
                     )
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         let wall = t0.elapsed();
 
@@ -278,7 +306,8 @@ impl CubeSolver {
             let i = k.index();
             let busy: Vec<f64> = busy_times.iter().map(|b| b[i]).collect();
             let max = busy.iter().copied().fold(0.0, f64::max);
-            self.profile.record(k, std::time::Duration::from_secs_f64(max));
+            self.profile
+                .record(k, std::time::Duration::from_secs_f64(max));
             self.imbalance.record_region(k, &busy);
         }
         // Record wall time under a tenth slot? Keep it simple: expose via
@@ -321,6 +350,12 @@ fn worker(
     owner: &[usize],
 ) -> [f64; 9] {
     let mut busy = [0.0f64; 9];
+    #[cfg(feature = "racecheck")]
+    crate::racecheck::set_thread(plan.tid);
+    #[cfg(feature = "racecheck")]
+    let mut rc_phase: u64 = 0;
+    #[cfg(feature = "racecheck")]
+    crate::racecheck::set_phase(rc_phase);
     let nn = topo.nodes_per_fiber;
     let npc = cdims.nodes_per_cube();
     let router = StreamRouter::new(dims, &config.bc);
@@ -397,6 +432,7 @@ fn worker(
                     let i = fiber * nn + node;
                     // SAFETY: my fiber's slots; no concurrent writers.
                     let p = unsafe { sheet_pos.get(i) };
+                    // SAFETY: same — only this worker touches its fibers.
                     let e = unsafe { sheet_elastic.get(i) };
                     let f_l = [e[0] * area, e[1] * area, e[2] * area];
                     if f_l == [0.0, 0.0, 0.0] {
@@ -417,7 +453,11 @@ fn worker(
                         }
                         // Acquire the owner's private lock for this cube
                         // batch (the paper's mutual-exclusion scheme).
-                        let guard = locks[owner[cube as usize]].lock();
+                        let guard = locks[owner[cube as usize]]
+                            .lock()
+                            .expect("owner lock poisoned");
+                        #[cfg(feature = "racecheck")]
+                        let _rc_lock = crate::racecheck::lock_scope();
                         for &(c, l, w) in &entries[s..e_end] {
                             let flat = cdims.flat(c as usize, l as usize);
                             // SAFETY: force slots are only written during
@@ -450,7 +490,11 @@ fn worker(
                         fvals[i] = grid.f.get(flat * Q + i);
                     }
                     let rho = grid.rho.get(flat);
-                    let ueq = [grid.ueqx.get(flat), grid.ueqy.get(flat), grid.ueqz.get(flat)];
+                    let ueq = [
+                        grid.ueqx.get(flat),
+                        grid.ueqy.get(flat),
+                        grid.ueqz.get(flat),
+                    ];
                     bgk_collide_node(&mut fvals, rho, ueq, [0.0; 3], tau);
                     for i in 0..Q {
                         grid.f.set(flat * Q + i, fvals[i]);
@@ -479,9 +523,14 @@ fn worker(
                                 let dflat = indexer.flat(d[0], d[1], d[2]);
                                 grid.f_new.set(dflat * Q + i, v);
                             }
-                            CoordRoute::BounceBack { opposite, wall_velocity } => {
-                                grid.f_new
-                                    .set(flat * Q + opposite, v - moving_wall_correction(i, wall_velocity));
+                            CoordRoute::BounceBack {
+                                opposite,
+                                wall_velocity,
+                            } => {
+                                grid.f_new.set(
+                                    flat * Q + opposite,
+                                    v - moving_wall_correction(i, wall_velocity),
+                                );
                             }
                         }
                     }
@@ -491,6 +540,11 @@ fn worker(
         }
 
         barrier.wait(); // barrier 1: all streamed populations in place
+        #[cfg(feature = "racecheck")]
+        {
+            rc_phase += 1;
+            crate::racecheck::set_phase(rc_phase);
+        }
 
         // ─── Loop 3: velocity update on my cubes (kernel 7) ───
         let t0 = Instant::now();
@@ -520,11 +574,21 @@ fn worker(
         busy[6] += t0.elapsed().as_secs_f64();
 
         barrier.wait(); // barrier 2: all velocities in place
+        #[cfg(feature = "racecheck")]
+        {
+            rc_phase += 1;
+            crate::racecheck::set_phase(rc_phase);
+        }
 
         // ─── Loop 4: move my fibers (kernel 8) ───
         let t0 = Instant::now();
         {
-            let view = CubeVelocityView { cdims, ux: &grid.ux, uy: &grid.uy, uz: &grid.uz };
+            let view = CubeVelocityView {
+                cdims,
+                ux: &grid.ux,
+                uy: &grid.uy,
+                uz: &grid.uz,
+            };
             for &fiber in &plan.my_fibers {
                 for node in 0..nn {
                     let i = fiber * nn + node;
@@ -563,6 +627,11 @@ fn worker(
         busy[8] += t0.elapsed().as_secs_f64();
 
         barrier.wait(); // barrier 3: end of time step
+        #[cfg(feature = "racecheck")]
+        {
+            rc_phase += 1;
+            crate::racecheck::set_phase(rc_phase);
+        }
     }
 
     let _ = plan.tid;
@@ -575,7 +644,10 @@ mod tests {
     use crate::sequential::SequentialSolver;
 
     fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -619,7 +691,10 @@ mod tests {
                 .zip(&cs.sheet.pos)
                 .flat_map(|(a, b)| (0..3).map(move |i| (a[i] - b[i]).abs()))
                 .fold(0.0f64, f64::max);
-            assert!(pos_err < 1e-12, "{threads} threads: sheet mismatch {pos_err}");
+            assert!(
+                pos_err < 1e-12,
+                "{threads} threads: sheet mismatch {pos_err}"
+            );
         }
     }
 
@@ -637,7 +712,10 @@ mod tests {
         // Lock-acquisition order can regroup floating-point adds during
         // spreading, so compare with a rounding-level tolerance.
         let err = max_abs_diff(&sa.fluid.f, &sb.fluid.f);
-        assert!(err < 1e-13, "restarting the worker team changed results: {err}");
+        assert!(
+            err < 1e-13,
+            "restarting the worker team changed results: {err}"
+        );
         let pos_err = sa
             .sheet
             .pos

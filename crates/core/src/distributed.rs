@@ -4,8 +4,8 @@
 //!
 //! This solver runs `n_ranks` workers that share **no** fluid state: each
 //! rank owns a contiguous slab of x-planes plus two ghost planes of the
-//! distribution buffer, and all communication flows through
-//! `crossbeam::channel` messages — the in-process stand-in for MPI:
+//! distribution buffer, and all communication flows through bounded
+//! `std::sync::mpsc` messages — the in-process stand-in for MPI:
 //!
 //! * **halo exchange** — after collision each rank sends its first and
 //!   last owned planes to its ring neighbours, so pull streaming can read
@@ -20,16 +20,16 @@
 //! The x axis must be periodic (the paper's tunnel is); y/z walls are
 //! handled locally by each rank.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use ib::delta::for_each_influence;
 use ib::forces::{bending_at, stretching_at};
 use ib::sheet::FiberSheet;
 use ib::tether::TetherSet;
 use lbm::boundary::{moving_wall_correction, CoordRoute, StreamRouter};
 use lbm::collision::bgk_collide_node;
-use lbm::grid::{wrap_axis, Dims, FluidGrid};
+use lbm::grid::{wrap_axis, FluidGrid};
 use lbm::lattice::{OPPOSITE, Q};
 use lbm::macroscopic::node_moments_shifted;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender as Sender};
 
 use crate::config::SimulationConfig;
 use crate::openmp::balanced_ranges;
@@ -80,7 +80,7 @@ impl Fabric {
         let mut rx: Vec<Vec<Receiver<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
         for from in 0..n {
             for _to in 0..n {
-                let (s, r) = bounded(4);
+                let (s, r) = sync_channel(4);
                 tx[from].push(s);
                 rx[from].push(r);
             }
@@ -131,7 +131,10 @@ impl DistributedSolver {
         let dims = config.dims();
         let plane = dims.ny * dims.nz;
         let ranges = balanced_ranges(dims.nx, n_ranks);
-        assert!(ranges.iter().all(|r| !r.is_empty()), "every rank needs at least one plane");
+        assert!(
+            ranges.iter().all(|r| !r.is_empty()),
+            "every rank needs at least one plane"
+        );
 
         let g = &state.fluid;
         let ranks = ranges
@@ -176,7 +179,14 @@ impl DistributedSolver {
             })
             .collect();
 
-        Self { config, n_ranks, ranks, sheet: state.sheet, tethers: state.tethers, step: state.step }
+        Self {
+            config,
+            n_ranks,
+            ranks,
+            sheet: state.sheet,
+            tethers: state.tethers,
+            step: state.step,
+        }
     }
 
     /// Number of ranks.
@@ -234,18 +244,24 @@ impl DistributedSolver {
         let fabric = Fabric::new(n);
 
         let ranks = std::mem::take(&mut self.ranks);
+        let Fabric {
+            tx: tx_mesh,
+            rx: rx_mesh,
+        } = fabric;
         let results: Vec<(RankData, FiberSheet)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for (id, rank) in ranks.into_iter().enumerate() {
-                let tx: Vec<Sender<Msg>> = fabric.tx[id].clone();
-                let rx = &fabric.rx[id];
+            for ((id, rank), rx) in ranks.into_iter().enumerate().zip(rx_mesh) {
+                let tx: Vec<Sender<Msg>> = tx_mesh[id].clone();
                 let sheet = sheet_template.clone();
                 let tethers = tethers.clone();
                 handles.push(scope.spawn(move || {
-                    rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, rx)
+                    rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, &rx)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         });
 
         let mut new_ranks = Vec::with_capacity(n);

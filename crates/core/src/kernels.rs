@@ -44,7 +44,13 @@ pub fn spread_force_from_fibers_to_fluid(state: &mut SimState) {
         add_uniform_body_force(&mut state.fluid, state.config.body_force);
     }
     let dims = state.config.dims();
-    spread::spread_forces(&state.sheet, state.config.delta, dims, &state.config.bc, &mut state.fluid);
+    spread::spread_forces(
+        &state.sheet,
+        state.config.delta,
+        dims,
+        &state.config.bc,
+        &mut state.fluid,
+    );
 }
 
 /// Kernel 5: BGK collision at every fluid node in the 19 D3Q19 directions,
@@ -76,7 +82,12 @@ pub fn update_fluid_velocity(state: &mut SimState) {
 pub fn move_fibers(state: &mut SimState) {
     let dims = state.config.dims();
     // Split-borrow the state so the sheet can move while reading the fluid.
-    let SimState { fluid, sheet, config, .. } = state;
+    let SimState {
+        fluid,
+        sheet,
+        config,
+        ..
+    } = state;
     interp::move_fibers(sheet, config.delta, dims, &config.bc, fluid, 1.0);
 }
 
@@ -147,7 +158,10 @@ mod tests {
     fn tethers_enter_via_kernel3() {
         use crate::config::TetherConfig;
         let mut c = SimulationConfig::quick_test();
-        c.sheet.tether = TetherConfig::CenterRegion { radius: 1.0, stiffness: 2.0 };
+        c.sheet.tether = TetherConfig::CenterRegion {
+            radius: 1.0,
+            stiffness: 2.0,
+        };
         let mut s = SimState::new(c);
         // Displace a tethered node and recompute the elastic force.
         let node = s.tethers.tethers[0].node;

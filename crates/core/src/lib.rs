@@ -38,9 +38,13 @@ pub mod kernels;
 pub mod openmp;
 pub mod output;
 pub mod profiling;
+#[cfg(feature = "racecheck")]
+pub mod racecheck;
 pub mod sequential;
 pub mod sharedgrid;
 pub mod state;
+pub mod sync_shim;
+pub mod threadpool;
 pub mod tuning;
 pub mod verify;
 

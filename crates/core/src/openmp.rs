@@ -1,4 +1,5 @@
-//! The OpenMP-style parallel solver of Section IV, built on rayon.
+//! The OpenMP-style parallel solver of Section IV, built on the local
+//! scoped [`ThreadPool`] (the workspace's rayon stand-in).
 //!
 //! Fluid kernels mirror Algorithm 2: the grid is cut into contiguous
 //! x-slabs (static schedule, one slab per thread), each slab handled by one
@@ -25,6 +26,7 @@ use lbm::macroscopic::node_moments_shifted;
 use crate::atomicf64::{as_atomic_f64, AtomicF64};
 use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
 use crate::state::SimState;
+use crate::threadpool::{current_thread_index, ThreadPool};
 
 /// Splits `0..n` into `chunks` balanced contiguous ranges (static schedule).
 /// The first `n % chunks` ranges get one extra element; empty ranges are
@@ -112,7 +114,7 @@ pub struct OpenMpSolver {
     pub imbalance: ImbalanceTracker,
     /// Loop scheduling policy (static by default, as in the paper).
     pub schedule: Schedule,
-    pool: rayon::ThreadPool,
+    pool: ThreadPool,
     n_threads: usize,
 }
 
@@ -125,11 +127,7 @@ impl OpenMpSolver {
     /// Wraps an existing state.
     pub fn from_state(state: SimState, n_threads: usize) -> Self {
         assert!(n_threads > 0, "need at least one thread");
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(n_threads)
-            .thread_name(|i| format!("lbmib-omp-{i}"))
-            .build()
-            .expect("failed to build thread pool");
+        let pool = ThreadPool::new(n_threads, "lbmib-omp");
         Self {
             state,
             profile: KernelProfile::new(),
@@ -183,15 +181,20 @@ impl OpenMpSolver {
         let topo = self.state.sheet.topology();
         let nn = topo.nodes_per_fiber;
         let fiber_ranges = balanced_ranges(topo.num_fibers, n_chunks);
-        let node_ranges: Vec<Range<usize>> =
-            fiber_ranges.iter().map(|r| r.start * nn..r.end * nn).collect();
+        let node_ranges: Vec<Range<usize>> = fiber_ranges
+            .iter()
+            .map(|r| r.start * nn..r.end * nn)
+            .collect();
 
         // Kernel 1: bending.
         {
             let sheet = &mut self.state.sheet;
             let pos_snapshot = sheet.pos.clone();
             let chunks = split_by_ranges(&mut sheet.bending, &node_ranges);
-            let items: Vec<_> = chunks.into_iter().zip(fiber_ranges.iter().cloned()).collect();
+            let items: Vec<_> = chunks
+                .into_iter()
+                .zip(fiber_ranges.iter().cloned())
+                .collect();
             let pos = &pos_snapshot;
             Self::region_static(
                 &self.pool,
@@ -215,7 +218,10 @@ impl OpenMpSolver {
             let sheet = &mut self.state.sheet;
             let pos_snapshot = sheet.pos.clone();
             let chunks = split_by_ranges(&mut sheet.stretching, &node_ranges);
-            let items: Vec<_> = chunks.into_iter().zip(fiber_ranges.iter().cloned()).collect();
+            let items: Vec<_> = chunks
+                .into_iter()
+                .zip(fiber_ranges.iter().cloned())
+                .collect();
             let pos = &pos_snapshot;
             Self::region_static(
                 &self.pool,
@@ -242,19 +248,22 @@ impl OpenMpSolver {
             let bending = &sheet.bending;
             let stretching = &sheet.stretching;
             let chunks = split_by_ranges(&mut sheet.elastic, &node_ranges);
-            let items: Vec<_> = chunks.into_iter().zip(node_ranges.iter().cloned()).collect();
+            let items: Vec<_> = chunks
+                .into_iter()
+                .zip(node_ranges.iter().cloned())
+                .collect();
             let busy: Vec<AtomicF64> = (0..n_threads).map(|_| AtomicF64::new(0.0)).collect();
             self.pool.scope(|scope| {
                 for (out, nodes) in items {
                     let busy = &busy;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let b0 = Instant::now();
                         for (i, node) in nodes.enumerate() {
                             for a in 0..3 {
                                 out[i][a] = bending[node][a] + stretching[node][a];
                             }
                         }
-                        let w = rayon::current_thread_index().unwrap_or(0);
+                        let w = current_thread_index().unwrap_or(0);
                         busy[w].fetch_add(b0.elapsed().as_secs_f64());
                     });
                 }
@@ -263,14 +272,15 @@ impl OpenMpSolver {
             tethers.apply(&mut self.state.sheet);
             self.profile.record(KernelId::ElasticForce, t0.elapsed());
             let busy_vals: Vec<f64> = busy.iter().map(|b| b.load()).collect();
-            self.imbalance.record_region(KernelId::ElasticForce, &busy_vals);
+            self.imbalance
+                .record_region(KernelId::ElasticForce, &busy_vals);
         }
     }
 
     /// Helper mirroring [`OpenMpSolver::region`] usable while `self.state`
     /// is partially borrowed.
     fn region_static<I, F>(
-        pool: &rayon::ThreadPool,
+        pool: &ThreadPool,
         profile: &mut KernelProfile,
         imbalance: &mut ImbalanceTracker,
         n_threads: usize,
@@ -290,10 +300,10 @@ impl OpenMpSolver {
             for (t, item) in items.into_iter().enumerate() {
                 let busy = &busy;
                 let work = &work;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let b0 = Instant::now();
                     work(t, item);
-                    let w = rayon::current_thread_index().unwrap_or(0);
+                    let w = current_thread_index().unwrap_or(0);
                     busy[w].fetch_add(b0.elapsed().as_secs_f64());
                 });
             }
@@ -325,7 +335,7 @@ impl OpenMpSolver {
             let items: Vec<_> = fx.into_iter().zip(fy).zip(fz).collect();
             self.pool.scope(|scope| {
                 for ((cx, cy), cz) in items {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         cx.fill(body[0]);
                         cy.fill(body[1]);
                         cz.fill(body[2]);
@@ -351,7 +361,7 @@ impl OpenMpSolver {
                 for fibers in fiber_ranges {
                     let busy = &busy;
                     let mut sink = AtomicSink { dims, fx, fy, fz };
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let b0 = Instant::now();
                         for fiber in fibers {
                             for node in 0..nn {
@@ -361,7 +371,7 @@ impl OpenMpSolver {
                                 spread_node(pos[i], f_l, delta, dims, &bc, &mut sink);
                             }
                         }
-                        let w = rayon::current_thread_index().unwrap_or(0);
+                        let w = current_thread_index().unwrap_or(0);
                         busy[w].fetch_add(b0.elapsed().as_secs_f64());
                     });
                 }
@@ -369,7 +379,8 @@ impl OpenMpSolver {
         }
         self.profile.record(KernelId::SpreadForce, t0.elapsed());
         let busy_vals: Vec<f64> = busy.iter().map(|b| b.load()).collect();
-        self.imbalance.record_region(KernelId::SpreadForce, &busy_vals);
+        self.imbalance
+            .record_region(KernelId::SpreadForce, &busy_vals);
     }
 
     /// Kernel 5: collision, parallel over x-slabs (Algorithm 2).
@@ -380,8 +391,10 @@ impl OpenMpSolver {
         let dims = self.state.config.dims();
         let plane = dims.ny * dims.nz;
         let plane_ranges = balanced_ranges(dims.nx, n_chunks);
-        let node_ranges: Vec<Range<usize>> =
-            plane_ranges.iter().map(|r| r.start * plane..r.end * plane).collect();
+        let node_ranges: Vec<Range<usize>> = plane_ranges
+            .iter()
+            .map(|r| r.start * plane..r.end * plane)
+            .collect();
         let f_ranges: Vec<Range<usize>> =
             node_ranges.iter().map(|r| r.start * Q..r.end * Q).collect();
 
@@ -391,7 +404,10 @@ impl OpenMpSolver {
         let ueqy = &fluid.ueqy;
         let ueqz = &fluid.ueqz;
         let f_chunks = split_by_ranges(&mut fluid.f, &f_ranges);
-        let items: Vec<_> = f_chunks.into_iter().zip(node_ranges.iter().cloned()).collect();
+        let items: Vec<_> = f_chunks
+            .into_iter()
+            .zip(node_ranges.iter().cloned())
+            .collect();
         Self::region_static(
             &self.pool,
             &mut self.profile,
@@ -402,7 +418,13 @@ impl OpenMpSolver {
             |_t, (f_chunk, nodes)| {
                 for (i, node) in nodes.enumerate() {
                     let ueq = [ueqx[node], ueqy[node], ueqz[node]];
-                    bgk_collide_node(&mut f_chunk[i * Q..i * Q + Q], rho[node], ueq, [0.0; 3], tau);
+                    bgk_collide_node(
+                        &mut f_chunk[i * Q..i * Q + Q],
+                        rho[node],
+                        ueq,
+                        [0.0; 3],
+                        tau,
+                    );
                 }
             },
         );
@@ -417,8 +439,10 @@ impl OpenMpSolver {
         let bc = self.state.config.bc;
         let plane = dims.ny * dims.nz;
         let plane_ranges = balanced_ranges(dims.nx, n_chunks);
-        let node_ranges: Vec<Range<usize>> =
-            plane_ranges.iter().map(|r| r.start * plane..r.end * plane).collect();
+        let node_ranges: Vec<Range<usize>> = plane_ranges
+            .iter()
+            .map(|r| r.start * plane..r.end * plane)
+            .collect();
         let f_ranges: Vec<Range<usize>> =
             node_ranges.iter().map(|r| r.start * Q..r.end * Q).collect();
 
@@ -427,7 +451,10 @@ impl OpenMpSolver {
         let fluid = &mut self.state.fluid;
         let f = &fluid.f;
         let chunks = split_by_ranges(&mut fluid.f_new, &f_ranges);
-        let items: Vec<_> = chunks.into_iter().zip(node_ranges.iter().cloned()).collect();
+        let items: Vec<_> = chunks
+            .into_iter()
+            .zip(node_ranges.iter().cloned())
+            .collect();
         Self::region_static(
             &self.pool,
             &mut self.profile,
@@ -452,8 +479,10 @@ impl OpenMpSolver {
         let dims = self.state.config.dims();
         let plane = dims.ny * dims.nz;
         let plane_ranges = balanced_ranges(dims.nx, n_chunks);
-        let node_ranges: Vec<Range<usize>> =
-            plane_ranges.iter().map(|r| r.start * plane..r.end * plane).collect();
+        let node_ranges: Vec<Range<usize>> = plane_ranges
+            .iter()
+            .map(|r| r.start * plane..r.end * plane)
+            .collect();
 
         struct UpdateChunk<'a> {
             nodes: Range<usize>,
@@ -491,7 +520,16 @@ impl OpenMpSolver {
             .zip(ueqy)
             .zip(ueqz)
         {
-            items.push(UpdateChunk { nodes, rho, ux, uy, uz, ueqx, ueqy, ueqz });
+            items.push(UpdateChunk {
+                nodes,
+                rho,
+                ux,
+                uy,
+                uz,
+                ueqx,
+                ueqy,
+                ueqz,
+            });
         }
 
         Self::region_static(
@@ -527,11 +565,18 @@ impl OpenMpSolver {
         let delta = self.state.config.delta;
         let nn = self.state.sheet.nodes_per_fiber;
         let fiber_ranges = balanced_ranges(self.state.sheet.num_fibers, n_chunks);
-        let node_ranges: Vec<Range<usize>> =
-            fiber_ranges.iter().map(|r| r.start * nn..r.end * nn).collect();
+        let node_ranges: Vec<Range<usize>> = fiber_ranges
+            .iter()
+            .map(|r| r.start * nn..r.end * nn)
+            .collect();
 
         let SimState { fluid, sheet, .. } = &mut self.state;
-        let view = GridView { dims, ux: &fluid.ux, uy: &fluid.uy, uz: &fluid.uz };
+        let view = GridView {
+            dims,
+            ux: &fluid.ux,
+            uy: &fluid.uy,
+            uz: &fluid.uz,
+        };
         let chunks = split_by_ranges(&mut sheet.pos, &node_ranges);
         let view_ref = &view;
         Self::region_static(
@@ -641,7 +686,10 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .fold(0.0f64, f64::max);
         // Atomic scatter reorders additions, so allow rounding-level noise.
-        assert!(max_err < 1e-12, "ux mismatch across thread counts: {max_err}");
+        assert!(
+            max_err < 1e-12,
+            "ux mismatch across thread counts: {max_err}"
+        );
     }
 
     #[test]
@@ -672,7 +720,10 @@ mod tests {
             .zip(&dynamic.state.fluid.f)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_err < 1e-12, "dynamic schedule changed physics: {max_err}");
+        assert!(
+            max_err < 1e-12,
+            "dynamic schedule changed physics: {max_err}"
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ pub fn write_fluid_slice_csv<W: Write>(state: &SimState, x: usize, mut w: W) -> 
 }
 
 /// Convenience: writes a sheet VTK snapshot to a numbered file in `dir`.
-pub fn dump_sheet_snapshot(state: &SimState, dir: &Path, index: usize) -> io::Result<std::path::PathBuf> {
+pub fn dump_sheet_snapshot(
+    state: &SimState,
+    dir: &Path,
+    index: usize,
+) -> io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("sheet_{index:05}.vtk"));
     let file = std::fs::File::create(&path)?;

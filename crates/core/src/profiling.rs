@@ -118,7 +118,13 @@ impl KernelProfile {
         let total = self.grand_total().as_secs_f64().max(1e-12);
         let mut rows: Vec<_> = KernelId::ALL
             .iter()
-            .map(|&k| (k, self.total(k), 100.0 * self.total(k).as_secs_f64() / total))
+            .map(|&k| {
+                (
+                    k,
+                    self.total(k),
+                    100.0 * self.total(k).as_secs_f64() / total,
+                )
+            })
             .collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
@@ -136,7 +142,10 @@ impl KernelProfile {
                 pct
             ));
         }
-        out.push_str(&format!("total execution time = {:.3} s\n", self.grand_total().as_secs_f64()));
+        out.push_str(&format!(
+            "total execution time = {:.3} s\n",
+            self.grand_total().as_secs_f64()
+        ));
         out
     }
 
@@ -318,7 +327,7 @@ mod tests {
         let mut t = ImbalanceTracker::new(2);
         t.record_region(KernelId::Collision, &[2.0, 1.0]); // 0.5 wait, 2 crit
         t.record_region(KernelId::Stream, &[3.0, 3.0]); // balanced, 3 crit
-        // 0.5 / 5.0 = 10%.
+                                                        // 0.5 / 5.0 = 10%.
         assert!((t.imbalance_percent() - 10.0).abs() < 1e-9);
         let per = t.per_kernel_percent();
         assert!((per[KernelId::Collision.index()].1 - 25.0).abs() < 1e-9);

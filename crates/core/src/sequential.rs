@@ -14,27 +14,47 @@ pub struct SequentialSolver {
 impl SequentialSolver {
     /// Creates the solver with a fresh state from the configuration.
     pub fn new(config: crate::config::SimulationConfig) -> Self {
-        Self { state: SimState::new(config), profile: KernelProfile::new() }
+        Self {
+            state: SimState::new(config),
+            profile: KernelProfile::new(),
+        }
     }
 
     /// Wraps an existing state.
     pub fn from_state(state: SimState) -> Self {
-        Self { state, profile: KernelProfile::new() }
+        Self {
+            state,
+            profile: KernelProfile::new(),
+        }
     }
 
     /// Executes one full time step: the nine kernels in Algorithm 1 order.
     pub fn step(&mut self) {
         let s = &mut self.state;
         let p = &mut self.profile;
-        p.time(KernelId::BendingForce, || kernels::compute_bending_force_in_fibers(s));
-        p.time(KernelId::StretchingForce, || kernels::compute_stretching_force_in_fibers(s));
-        p.time(KernelId::ElasticForce, || kernels::compute_elastic_force_in_fibers(s));
-        p.time(KernelId::SpreadForce, || kernels::spread_force_from_fibers_to_fluid(s));
+        p.time(KernelId::BendingForce, || {
+            kernels::compute_bending_force_in_fibers(s)
+        });
+        p.time(KernelId::StretchingForce, || {
+            kernels::compute_stretching_force_in_fibers(s)
+        });
+        p.time(KernelId::ElasticForce, || {
+            kernels::compute_elastic_force_in_fibers(s)
+        });
+        p.time(KernelId::SpreadForce, || {
+            kernels::spread_force_from_fibers_to_fluid(s)
+        });
         p.time(KernelId::Collision, || kernels::compute_fluid_collision(s));
-        p.time(KernelId::Stream, || kernels::stream_fluid_velocity_distribution(s));
-        p.time(KernelId::UpdateVelocity, || kernels::update_fluid_velocity(s));
+        p.time(KernelId::Stream, || {
+            kernels::stream_fluid_velocity_distribution(s)
+        });
+        p.time(KernelId::UpdateVelocity, || {
+            kernels::update_fluid_velocity(s)
+        });
         p.time(KernelId::MoveFibers, || kernels::move_fibers(s));
-        p.time(KernelId::CopyDistributions, || kernels::copy_fluid_velocity_distribution(s));
+        p.time(KernelId::CopyDistributions, || {
+            kernels::copy_fluid_velocity_distribution(s)
+        });
         s.step += 1;
     }
 
@@ -79,7 +99,10 @@ mod tests {
         let x0 = s.state.sheet.centroid()[0];
         s.run(120);
         let x1 = s.state.sheet.centroid()[0];
-        assert!(x1 > x0 + 1e-4, "sheet should move with the flow: {x0} -> {x1}");
+        assert!(
+            x1 > x0 + 1e-4,
+            "sheet should move with the flow: {x0} -> {x1}"
+        );
         assert!(!s.state.has_nan());
     }
 
@@ -87,7 +110,10 @@ mod tests {
     fn tethered_sheet_stays_put() {
         let mut c = SimulationConfig::quick_test();
         c.body_force = [5e-6, 0.0, 0.0];
-        c.sheet.tether = TetherConfig::CenterRegion { radius: 100.0, stiffness: 0.5 };
+        c.sheet.tether = TetherConfig::CenterRegion {
+            radius: 100.0,
+            stiffness: 0.5,
+        };
         let mut s = SequentialSolver::new(c);
         let x0 = s.state.sheet.centroid()[0];
         s.run(120);

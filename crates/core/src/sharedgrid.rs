@@ -17,48 +17,91 @@
 //!   provide the happens-before edges.
 //!
 //! Each accessor documents which rule makes it sound at its call site.
+//! With the `racecheck` feature enabled, every accessor additionally
+//! records its access into the [`crate::racecheck`] shadow log so the
+//! discipline can be audited after a run.
 
+#[cfg(loom)]
+use loom::cell::UnsafeCell;
+#[cfg(not(loom))]
 use std::cell::UnsafeCell;
 
 /// A `Sync` slice of `T` with unchecked interior mutability.
 ///
 /// `T` is constrained to `Copy` values (we store `f64` and `[f64; 3]`);
 /// per-location data-race freedom is the caller's obligation.
-#[repr(transparent)]
-pub struct SharedSlice<T>(Box<[UnsafeCell<T>]>);
+pub struct SharedSlice<T> {
+    cells: Box<[UnsafeCell<T>]>,
+    #[cfg(feature = "racecheck")]
+    track: crate::racecheck::TrackId,
+}
 
 // SAFETY: access is raw and the solver guarantees per-location exclusion;
 // the type itself adds no thread affinity.
 unsafe impl<T: Send> Sync for SharedSlice<T> {}
+// SAFETY: the slice owns its cells outright; moving it across threads
+// moves the `T`s wholesale, exactly as for `Vec<T>: Send`.
 unsafe impl<T: Send> Send for SharedSlice<T> {}
 
 impl<T: Copy> SharedSlice<T> {
     /// Takes ownership of a vector.
+    #[cfg(not(loom))]
     pub fn from_vec(v: Vec<T>) -> Self {
-        // SAFETY: UnsafeCell<T> has the same in-memory representation as T.
         let boxed: Box<[T]> = v.into_boxed_slice();
         let len = boxed.len();
         let ptr = Box::into_raw(boxed) as *mut UnsafeCell<T>;
-        unsafe { Self(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len))) }
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`, so the
+        // allocation's size, alignment, and element layout are unchanged;
+        // `ptr` came from `Box::into_raw` of that same allocation.
+        let cells = unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)) };
+        Self {
+            cells,
+            #[cfg(feature = "racecheck")]
+            track: crate::racecheck::TrackId::register(),
+        }
+    }
+
+    /// Takes ownership of a vector (loom build: element-wise wrap, since
+    /// the model-checked cell is not layout-compatible with `T`).
+    #[cfg(loom)]
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Self {
+            cells: v.into_iter().map(UnsafeCell::new).collect(),
+            #[cfg(feature = "racecheck")]
+            track: crate::racecheck::TrackId::register(),
+        }
     }
 
     /// Releases the storage back into a vector.
+    #[cfg(not(loom))]
     pub fn into_vec(self) -> Vec<T> {
-        let len = self.0.len();
-        let ptr = Box::into_raw(self.0) as *mut T;
-        // SAFETY: inverse of `from_vec`.
+        let len = self.cells.len();
+        let ptr = Box::into_raw(self.cells) as *mut T;
+        // SAFETY: inverse of `from_vec`: same allocation, same layout
+        // (`UnsafeCell<T>` is `repr(transparent)` over `T`), and `self` is
+        // consumed so no cell access can outlive the transfer.
         unsafe { Vec::from_raw_parts(ptr, len, len) }
+    }
+
+    /// Releases the storage back into a vector (loom build).
+    #[cfg(loom)]
+    pub fn into_vec(self) -> Vec<T> {
+        self.cells
+            .into_vec()
+            .into_iter()
+            .map(UnsafeCell::into_inner)
+            .collect()
     }
 
     /// Length of the slice.
     #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.cells.len()
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.cells.is_empty()
     }
 
     /// Reads element `i`.
@@ -67,8 +110,18 @@ impl<T: Copy> SharedSlice<T> {
     /// No thread may be concurrently writing element `i`.
     #[inline]
     pub unsafe fn get(&self, i: usize) -> T {
-        debug_assert!(i < self.0.len());
-        *self.0.get_unchecked(i).get()
+        debug_assert!(i < self.cells.len());
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record(self.track, i, crate::racecheck::AccessKind::Read);
+        #[cfg(not(loom))]
+        // SAFETY: `i` is in bounds (callers index within `len`, checked in
+        // debug builds); the caller guarantees no concurrent writer, so the
+        // plain read does not race.
+        return unsafe { *self.cells.get_unchecked(i).get() };
+        #[cfg(loom)]
+        // SAFETY: loom validates the no-concurrent-writer claim; the raw
+        // pointer is valid for the closure's duration.
+        return self.cells[i].with(|p| unsafe { *p });
     }
 
     /// Writes element `i`.
@@ -77,15 +130,28 @@ impl<T: Copy> SharedSlice<T> {
     /// No other thread may be concurrently reading or writing element `i`.
     #[inline]
     pub unsafe fn set(&self, i: usize, v: T) {
-        debug_assert!(i < self.0.len());
-        *self.0.get_unchecked(i).get() = v;
+        debug_assert!(i < self.cells.len());
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record(self.track, i, crate::racecheck::AccessKind::Write);
+        #[cfg(not(loom))]
+        // SAFETY: `i` is in bounds; the caller guarantees exclusive access
+        // to this element for the duration of the write.
+        unsafe {
+            *self.cells.get_unchecked(i).get() = v;
+        }
+        #[cfg(loom)]
+        // SAFETY: loom validates the exclusivity claim; the raw pointer is
+        // valid for the closure's duration.
+        self.cells[i].with_mut(|p| unsafe { *p = v })
     }
 
     /// Exclusive safe view (requires `&mut`, i.e. no other users).
+    #[cfg(not(loom))]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
-        let len = self.0.len();
-        let ptr = self.0.as_mut_ptr() as *mut T;
-        // SAFETY: &mut self guarantees exclusivity; layouts match.
+        let len = self.cells.len();
+        let ptr = self.cells.as_mut_ptr() as *mut T;
+        // SAFETY: `&mut self` guarantees exclusivity, and `UnsafeCell<T>`
+        // has the same layout as `T` (`repr(transparent)`).
         unsafe { std::slice::from_raw_parts_mut(ptr, len) }
     }
 
@@ -94,9 +160,42 @@ impl<T: Copy> SharedSlice<T> {
     /// # Safety
     /// No thread may write any element for the lifetime of the returned
     /// slice (e.g. fiber positions during loop 1 of Algorithm 4).
+    #[cfg(not(loom))]
     #[inline]
     pub unsafe fn as_slice_unchecked(&self) -> &[T] {
-        std::slice::from_raw_parts(self.0.as_ptr() as *const T, self.0.len())
+        // The borrow makes every element readable for the phase; record it
+        // as a whole-array read.
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_range(
+            self.track,
+            0..self.cells.len(),
+            crate::racecheck::AccessKind::Read,
+        );
+        // SAFETY: the caller guarantees the slice is read-only for the
+        // returned lifetime, and `UnsafeCell<T>` has the same layout as `T`.
+        unsafe { std::slice::from_raw_parts(self.cells.as_ptr() as *const T, self.cells.len()) }
+    }
+
+    /// Loom builds cannot hand out an untracked borrow of tracked cells;
+    /// the solvers that use this path never run under the model.
+    ///
+    /// # Safety
+    /// Never returns (the loom tests use [`SharedSlice::get`] instead).
+    #[cfg(loom)]
+    pub unsafe fn as_slice_unchecked(&self) -> &[T] {
+        unimplemented!("as_slice_unchecked has no loom model; use get()")
+    }
+
+    /// Loom counterpart of the exclusive view; see `as_slice_unchecked`.
+    #[cfg(loom)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        unimplemented!("as_mut_slice has no loom model; use get()/set()")
+    }
+
+    /// Names this array in racecheck audit reports.
+    #[cfg(feature = "racecheck")]
+    pub fn name_for_racecheck(&self, name: &str) {
+        self.track.set_name(name);
     }
 }
 
@@ -108,9 +207,20 @@ impl SharedSlice<f64> {
     /// only thread able to touch it in this phase).
     #[inline]
     pub unsafe fn add(&self, i: usize, v: f64) {
-        debug_assert!(i < self.0.len());
-        let p = self.0.get_unchecked(i).get();
-        *p += v;
+        debug_assert!(i < self.cells.len());
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record(self.track, i, crate::racecheck::AccessKind::Write);
+        #[cfg(not(loom))]
+        // SAFETY: `i` is in bounds; the caller holds the protecting lock
+        // (or is the sole accessor), so the read-modify-write is exclusive.
+        unsafe {
+            let p = self.cells.get_unchecked(i).get();
+            *p += v;
+        }
+        #[cfg(loom)]
+        // SAFETY: loom validates the exclusivity claim; the raw pointer is
+        // valid for the closure's duration.
+        self.cells[i].with_mut(|p| unsafe { *p += v })
     }
 
     /// Copies `len` elements from `src[offset..offset+len]` into the same
@@ -120,11 +230,38 @@ impl SharedSlice<f64> {
     /// No thread may concurrently access either range.
     #[inline]
     pub unsafe fn copy_from(&self, src: &SharedSlice<f64>, offset: usize, len: usize) {
-        debug_assert!(offset + len <= self.0.len());
-        debug_assert!(offset + len <= src.0.len());
-        let dst = self.0[offset].get();
-        let s = src.0[offset].get() as *const f64;
-        std::ptr::copy_nonoverlapping(s, dst, len);
+        debug_assert!(offset + len <= self.cells.len());
+        debug_assert!(offset + len <= src.cells.len());
+        #[cfg(feature = "racecheck")]
+        {
+            crate::racecheck::record_range(
+                src.track,
+                offset..offset + len,
+                crate::racecheck::AccessKind::Read,
+            );
+            crate::racecheck::record_range(
+                self.track,
+                offset..offset + len,
+                crate::racecheck::AccessKind::Write,
+            );
+        }
+        #[cfg(not(loom))]
+        // SAFETY: both ranges are in bounds (debug-checked against both
+        // lengths), the cells are contiguous (`UnsafeCell<f64>` has `f64`'s
+        // layout), the two slices never alias (distinct allocations from
+        // `from_vec`), and the caller guarantees no concurrent access.
+        unsafe {
+            let dst = self.cells[offset].get();
+            let s = src.cells[offset].get() as *const f64;
+            std::ptr::copy_nonoverlapping(s, dst, len);
+        }
+        #[cfg(loom)]
+        for k in offset..offset + len {
+            // SAFETY: loom validates the no-concurrent-access claim per
+            // element; the raw pointers are valid inside the closures.
+            let v = src.cells[k].with(|p| unsafe { *p });
+            self.cells[k].with_mut(|p| unsafe { *p = v });
+        }
     }
 }
 
@@ -149,7 +286,7 @@ pub struct SharedCubeGrid {
 impl SharedCubeGrid {
     /// Wraps a cube grid for shared access.
     pub fn new(grid: lbm::cube_grid::CubeFluidGrid) -> Self {
-        Self {
+        let s = Self {
             cdims: grid.cdims,
             f: SharedSlice::from_vec(grid.f),
             f_new: SharedSlice::from_vec(grid.f_new),
@@ -163,7 +300,23 @@ impl SharedCubeGrid {
             fx: SharedSlice::from_vec(grid.fx),
             fy: SharedSlice::from_vec(grid.fy),
             fz: SharedSlice::from_vec(grid.fz),
+        };
+        #[cfg(feature = "racecheck")]
+        {
+            s.f.name_for_racecheck("f");
+            s.f_new.name_for_racecheck("f_new");
+            s.rho.name_for_racecheck("rho");
+            s.ux.name_for_racecheck("ux");
+            s.uy.name_for_racecheck("uy");
+            s.uz.name_for_racecheck("uz");
+            s.ueqx.name_for_racecheck("ueqx");
+            s.ueqy.name_for_racecheck("ueqy");
+            s.ueqz.name_for_racecheck("ueqz");
+            s.fx.name_for_racecheck("fx");
+            s.fy.name_for_racecheck("fy");
+            s.fz.name_for_racecheck("fz");
         }
+        s
     }
 
     /// Unwraps back into the owned cube grid.
@@ -197,6 +350,7 @@ mod tests {
         let s = SharedSlice::from_vec(vec![1.0, 2.0, 3.0]);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
+        // SAFETY: single-threaded test, no concurrent access.
         unsafe {
             assert_eq!(s.get(1), 2.0);
             s.set(1, 5.0);
@@ -215,6 +369,7 @@ mod tests {
     #[test]
     fn vec3_storage_works() {
         let s = SharedSlice::from_vec(vec![[1.0f64, 2.0, 3.0]; 2]);
+        // SAFETY: single-threaded test, no concurrent access.
         unsafe {
             let mut v = s.get(0);
             v[1] += 1.0;
@@ -232,6 +387,7 @@ mod tests {
         }
         g.rho[7] = 3.25;
         let shared = SharedCubeGrid::new(g);
+        // SAFETY: single-threaded test, no concurrent access.
         unsafe {
             assert_eq!(shared.rho.get(7), 3.25);
             assert_eq!(shared.f.get(10), 10.0);
@@ -252,6 +408,8 @@ mod tests {
                 scope.spawn(move || {
                     // Each thread owns two disjoint slots.
                     for i in [t, t + 4] {
+                        // SAFETY: slot sets {t, t+4} are disjoint across
+                        // threads, so each element has a single writer.
                         unsafe { s.set(i, (i + 1) as f64) };
                     }
                 });

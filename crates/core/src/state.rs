@@ -31,7 +31,13 @@ impl SimState {
         let mut fluid = FluidGrid::new(config.dims());
         initialize_equilibrium(&mut fluid, |_, _, _| 1.0, |_, _, _| [0.0; 3]);
         let (sheet, tethers) = config.sheet.build();
-        Self { config, fluid, sheet, tethers, step: 0 }
+        Self {
+            config,
+            fluid,
+            sheet,
+            tethers,
+            step: 0,
+        }
     }
 
     /// True if any fluid or structure value has gone non-finite.

@@ -1,0 +1,271 @@
+//! A small fixed-size thread pool with rayon-style scoped tasks, standing
+//! in for `rayon::ThreadPool` (unavailable in the offline build).
+//!
+//! The OpenMP-style solver needs exactly three things from a pool:
+//!
+//! 1. a fixed team of `n` long-lived workers (thread identity is stable, so
+//!    per-thread busy-time accounting works across regions);
+//! 2. `scope(|s| { s.spawn(...); ... })` where tasks may borrow the
+//!    caller's stack, with an implicit barrier at scope end (OpenMP's
+//!    implicit join);
+//! 3. [`current_thread_index`] inside tasks, for busy-time attribution.
+//!
+//! Tasks are distributed from one shared FIFO, so a `scope` with more
+//! tasks than workers behaves like OpenMP's `schedule(dynamic)`: idle
+//! workers pull the next chunk.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+thread_local! {
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Index of the current pool worker (`0..n_threads`), or `None` when called
+/// outside a pool task (mirrors `rayon::current_thread_index`).
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|i| i.get())
+}
+
+/// A queued task, lifetime-erased. See the safety argument on
+/// [`Scope::spawn`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<(VecDeque<Job>, bool /* shutdown */)>,
+    work_available: Condvar,
+}
+
+/// Synchronisation state of one `scope` call: the count of not-yet-finished
+/// tasks and the first captured task panic.
+struct ScopeSync {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Fixed team of worker threads.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns `n_threads` workers named `{name_prefix}-{i}`.
+    pub fn new(n_threads: usize, name_prefix: &str) -> Self {
+        assert!(n_threads > 0, "pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            work_available: Condvar::new(),
+        });
+        let workers = (0..n_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{name_prefix}-{i}"))
+                    .spawn(move || {
+                        WORKER_INDEX.with(|idx| idx.set(Some(i)));
+                        loop {
+                            let job = {
+                                let mut q = shared.queue.lock().unwrap();
+                                loop {
+                                    if let Some(job) = q.0.pop_front() {
+                                        break job;
+                                    }
+                                    if q.1 {
+                                        return;
+                                    }
+                                    q = shared.work_available.wait(q).unwrap();
+                                }
+                            };
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            n_threads,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Runs `f`, which may spawn borrowing tasks on the pool via the given
+    /// [`Scope`]; returns only after every spawned task has finished (the
+    /// implicit barrier). The first task panic is propagated here.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let sync = Arc::new(ScopeSync {
+            remaining: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: self,
+            sync: Arc::clone(&sync),
+            _env: std::marker::PhantomData,
+        };
+        // The wait must happen even if `f` itself panics after spawning
+        // tasks — otherwise borrowed stack frames would be freed while
+        // tasks still run — so it lives in a drop guard.
+        struct WaitGuard<'a>(&'a ScopeSync);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                let mut remaining = self.0.remaining.lock().unwrap();
+                while *remaining > 0 {
+                    remaining = self.0.all_done.wait(remaining).unwrap();
+                }
+            }
+        }
+        let result = {
+            let _guard = WaitGuard(&sync);
+            f(&scope)
+        };
+        if let Some(p) = sync.panic.lock().unwrap().take() {
+            resume_unwind(p);
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().1 = true;
+        self.shared.work_available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`]. `'env` is
+/// the lifetime of borrows the tasks may capture.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    sync: Arc<ScopeSync>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues `f` on the pool. It runs on some worker before the enclosing
+    /// `scope` call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        *self.sync.remaining.lock().unwrap() += 1;
+        let sync = Arc::clone(&self.sync);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            if let Err(p) = outcome {
+                sync.panic.lock().unwrap().get_or_insert(p);
+            }
+            let mut remaining = sync.remaining.lock().unwrap();
+            *remaining -= 1;
+            if *remaining == 0 {
+                sync.all_done.notify_all();
+            }
+        });
+        // SAFETY: the only non-'static captures in `task` live at least for
+        // 'env. `ThreadPool::scope` does not return before `remaining`
+        // drops to zero (enforced by its drop guard, so it holds even when
+        // the scope closure panics), and `remaining` is decremented only
+        // after the task has finished running — therefore the erased
+        // borrows are never used after their referents are dropped.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
+        };
+        let mut q = self.pool.shared.queue.lock().unwrap();
+        q.0.push_back(task);
+        drop(q);
+        self.pool.shared.work_available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowing_tasks_with_barrier() {
+        let pool = ThreadPool::new(4, "tp-test");
+        let mut data = vec![0usize; 64];
+        pool.scope(|s| {
+            for chunk in data.chunks_mut(16) {
+                s.spawn(move || {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn worker_indices_are_stable_and_bounded() {
+        let pool = ThreadPool::new(3, "tp-idx");
+        let seen: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|s| {
+            for _ in 0..32 {
+                let seen = &seen;
+                s.spawn(move || {
+                    let i = current_thread_index().expect("task runs on a worker");
+                    seen[i].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        let total: usize = seen.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 32);
+        assert_eq!(current_thread_index(), None, "caller is not a worker");
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let pool = ThreadPool::new(2, "tp-panic");
+        let done = AtomicUsize::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..8 {
+                    let done = &done;
+                    s.spawn(move || {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(outcome.is_err(), "panic must propagate out of scope");
+        assert_eq!(done.load(Ordering::Relaxed), 8, "other tasks still ran");
+        // The pool survives a panicked scope.
+        pool.scope(|s| s.spawn(|| ()));
+    }
+
+    #[test]
+    fn dynamic_distribution_more_tasks_than_workers() {
+        let pool = ThreadPool::new(2, "tp-dyn");
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+}

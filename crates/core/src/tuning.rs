@@ -62,7 +62,13 @@ pub fn autotune_cube_k(
         Some(c) => c.iter().copied().filter(|k| legal.contains(k)).collect(),
         None => legal,
     };
-    assert!(!ks.is_empty(), "no legal cube edge for grid {}x{}x{}", config.nx, config.ny, config.nz);
+    assert!(
+        !ks.is_empty(),
+        "no legal cube edge for grid {}x{}x{}",
+        config.nx,
+        config.ny,
+        config.nz
+    );
     let mut probes = Vec::with_capacity(ks.len());
     for k in ks {
         let mut cfg = config;

@@ -22,7 +22,10 @@ pub struct StateDiff {
 impl StateDiff {
     /// The largest of all tracked norms.
     pub fn worst(&self) -> f64 {
-        self.f_linf.max(self.u_linf).max(self.rho_linf).max(self.pos_linf)
+        self.f_linf
+            .max(self.u_linf)
+            .max(self.rho_linf)
+            .max(self.pos_linf)
     }
 
     /// True if every norm is below `tol`.
@@ -37,7 +40,10 @@ pub fn compare_states(a: &SimState, b: &SimState) -> StateDiff {
     assert_eq!(a.fluid.dims, b.fluid.dims, "grid shape mismatch");
     assert_eq!(a.sheet.n(), b.sheet.n(), "sheet shape mismatch");
     let linf = |x: &[f64], y: &[f64]| -> f64 {
-        x.iter().zip(y).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+        x.iter()
+            .zip(y)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max)
     };
     let mut u_l2 = 0.0;
     let n = a.fluid.n();

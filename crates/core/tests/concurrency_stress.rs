@@ -1,0 +1,100 @@
+//! Std-thread stress tests for the concurrency primitives, plus the
+//! `AtomicF64` partition property. These complement the loom tests
+//! (`tests/loom.rs`): loom proves small interleavings exhaustively, these
+//! hammer the real primitives at scale.
+
+use lbm_ib::atomicf64::AtomicF64;
+use lbm_ib::barrier::SpinBarrier;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A one-thread barrier must be trivially reusable: its sole participant
+/// is the leader of every generation.
+#[test]
+fn spin_barrier_single_thread_reuse_many_generations() {
+    let b = SpinBarrier::new(1);
+    for generation in 0..100 {
+        assert!(
+            b.wait(),
+            "thread-count-1 barrier not leader in generation {generation}"
+        );
+    }
+}
+
+/// Leader-flag uniqueness per generation (not just in total): across many
+/// reused generations, each generation elects exactly one leader. A
+/// sense-reversal bug that let two threads claim leadership in one
+/// generation while skipping another would keep the total right but fail
+/// the per-generation counts.
+#[test]
+fn spin_barrier_leader_unique_per_generation_stress() {
+    const THREADS: usize = 8;
+    const GENERATIONS: usize = 48;
+    let barrier = SpinBarrier::new(THREADS);
+    let leaders: Vec<AtomicUsize> = (0..GENERATIONS).map(|_| AtomicUsize::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let (barrier, leaders) = (&barrier, &leaders);
+            scope.spawn(move || {
+                for counter in leaders {
+                    if barrier.wait() {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Second wait: leaders of generation g must not outrun
+                    // slow waiters into generation g+1's election.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    for (generation, counter) in leaders.iter().enumerate() {
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            1,
+            "generation {generation} elected a wrong number of leaders"
+        );
+    }
+}
+
+proptest! {
+    /// `AtomicF64::fetch_add` from N threads over a random partition of
+    /// random values must equal the sequential sum to within accumulation
+    /// tolerance (addition order differs across schedules, so exact
+    /// equality is not demanded — but every update must land).
+    #[test]
+    fn atomicf64_partitioned_sum_matches_sequential(
+        n_threads in 1usize..=8,
+        len in 1usize..=512,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let values: Vec<f64> = (0..len).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+        let sequential: f64 = values.iter().sum();
+
+        // Random partition: each value is assigned to one of the threads.
+        let assignment: Vec<usize> = (0..len).map(|_| rng.below(n_threads as u64) as usize).collect();
+
+        let total = AtomicF64::new(0.0);
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let (total, values, assignment) = (&total, &values, &assignment);
+                scope.spawn(move || {
+                    for (v, &owner) in values.iter().zip(assignment) {
+                        if owner == t {
+                            total.fetch_add(*v);
+                        }
+                    }
+                });
+            }
+        });
+
+        let got = total.load();
+        let tolerance = 1e-12 * (len as f64).max(1.0);
+        prop_assert!(
+            (got - sequential).abs() <= tolerance,
+            "partitioned sum {got} != sequential {sequential} (len {len}, {n_threads} threads)"
+        );
+    }
+}

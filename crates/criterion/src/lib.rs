@@ -1,0 +1,281 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, so the workspace's `harness = false` benches build and run in
+//! an offline container.
+//!
+//! It implements the slice of the API the benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — with straightforward
+//! wall-clock timing: a short warm-up, then `sample_size` samples whose
+//! median and spread are printed. No statistical analysis, plotting, or
+//! baseline storage; runs are honest but coarse, good enough for the
+//! relative comparisons the paper's tables make.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in always runs one
+/// setup per measured batch, so the variants only tune batch length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times, filled by `iter`/`iter_batched`.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly (one warm-up call, then `samples`
+    /// measured calls).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, name: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    results.sort_unstable();
+    let median = results[results.len() / 2];
+    let lo = results[0];
+    let hi = results[results.len() - 1];
+    let full = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "{full:<44} median {median:>12.3?}   range [{lo:.3?} .. {hi:.3?}]   n={}",
+        results.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets a target measurement time. The stand-in ignores it (sample
+    /// count alone bounds the run) but keeps the API.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &mut b.results);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &mut b.results);
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Driver with the stand-in's default sample count (20).
+    pub fn new() -> Self {
+        Self {
+            default_samples: 20,
+        }
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _parent: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        };
+        let mut b = Bencher {
+            samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report("", name, &mut b.results);
+        self
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut setups = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    x
+                },
+                |v| v * 2,
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+}

@@ -8,7 +8,7 @@ use lbm::boundary::{AxisBoundary, BoundaryConfig};
 use lbm::grid::Dims;
 
 /// Choice of 1D delta kernel (the 3D kernel is the tensor product).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum DeltaKind {
     /// Peskin's cosine kernel, support `|r| < 2`:
     /// `δ(r) = ¼ (1 + cos(πr/2))` — the kernel of the LBM-IB paper's
@@ -113,8 +113,13 @@ pub struct Influence {
 /// Weights over a full (unclipped) domain sum to exactly 1 for all three
 /// kernels — the discrete partition-of-unity property that makes force
 /// spreading conservative.
-pub fn for_each_influence<F>(pos: [f64; 3], kind: DeltaKind, dims: Dims, bc: &BoundaryConfig, mut f: F)
-where
+pub fn for_each_influence<F>(
+    pos: [f64; 3],
+    kind: DeltaKind,
+    dims: Dims,
+    bc: &BoundaryConfig,
+    mut f: F,
+) where
     F: FnMut(Influence),
 {
     let hs = kind.half_support();
@@ -158,7 +163,12 @@ where
             let wxy = wx * wy;
             for iz in 0..counts[2] {
                 let (z, wz) = coords[2][iz].unwrap();
-                f(Influence { x, y, z, weight: wxy * wz });
+                f(Influence {
+                    x,
+                    y,
+                    z,
+                    weight: wxy * wz,
+                });
             }
         }
     }
@@ -169,16 +179,27 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    const KINDS: [DeltaKind; 4] =
-        [DeltaKind::Peskin4, DeltaKind::Peskin4Poly, DeltaKind::Hat2, DeltaKind::Roma3];
+    const KINDS: [DeltaKind; 4] = [
+        DeltaKind::Peskin4,
+        DeltaKind::Peskin4Poly,
+        DeltaKind::Hat2,
+        DeltaKind::Roma3,
+    ];
 
     #[test]
     fn kernels_are_even_and_supported() {
         for kind in KINDS {
             for r in [0.0, 0.25, 0.5, 0.9, 1.3, 1.9] {
-                assert!((kind.eval(r) - kind.eval(-r)).abs() < 1e-15, "{kind:?} at {r}");
+                assert!(
+                    (kind.eval(r) - kind.eval(-r)).abs() < 1e-15,
+                    "{kind:?} at {r}"
+                );
             }
-            assert_eq!(kind.eval(kind.half_support()), 0.0, "{kind:?} at support edge");
+            assert_eq!(
+                kind.eval(kind.half_support()),
+                0.0,
+                "{kind:?} at support edge"
+            );
             assert_eq!(kind.eval(kind.half_support() + 0.5), 0.0);
             assert!(kind.eval(0.0) > 0.0);
         }
@@ -221,7 +242,9 @@ mod tests {
     fn stencil_width_matches_observed_support() {
         for kind in KINDS {
             // Generic (non-degenerate) offset touches exactly stencil_width nodes.
-            let n = (-4i32..=4).filter(|&j| kind.eval(0.3 - j as f64) != 0.0).count();
+            let n = (-4i32..=4)
+                .filter(|&j| kind.eval(0.3 - j as f64) != 0.0)
+                .count();
             assert_eq!(n, kind.stencil_width(), "{kind:?}");
         }
     }
@@ -237,7 +260,10 @@ mod tests {
             total += inf.weight;
         });
         assert_eq!(count, 64, "paper's 4x4x4 influential domain");
-        assert!((total - 1.0).abs() < 1e-12, "3D partition of unity: {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "3D partition of unity: {total}"
+        );
     }
 
     #[test]
@@ -273,7 +299,9 @@ mod tests {
         let dims = Dims::new(8, 8, 8);
         let bc = BoundaryConfig::periodic();
         let mut count = 0;
-        for_each_influence([4.0, 4.0, 4.0], DeltaKind::Peskin4, dims, &bc, |_| count += 1);
+        for_each_influence([4.0, 4.0, 4.0], DeltaKind::Peskin4, dims, &bc, |_| {
+            count += 1
+        });
         assert_eq!(count, 27);
     }
 

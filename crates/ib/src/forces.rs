@@ -66,7 +66,11 @@ fn curvature<F: Fn(usize) -> [f64; 3]>(at: &F, m: i64, len: usize) -> [f64; 3] {
     let a = at(m - 1);
     let b = at(m);
     let c = at(m + 1);
-    [a[0] - 2.0 * b[0] + c[0], a[1] - 2.0 * b[1] + c[1], a[2] - 2.0 * b[2] + c[2]]
+    [
+        a[0] - 2.0 * b[0] + c[0],
+        a[1] - 2.0 * b[1] + c[1],
+        a[2] - 2.0 * b[2] + c[2],
+    ]
 }
 
 /// Bending force on element `m` of a chain of length `len`:
@@ -141,12 +145,23 @@ pub fn bending_at(topo: &SheetTopology, pos: &[[f64; 3]], fiber: usize, node: us
 /// Stretching force on node `(fiber, node)`: Hookean links to the left and
 /// right neighbours along the fiber and to the neighbouring fibers.
 #[inline]
-pub fn stretching_at(topo: &SheetTopology, pos: &[[f64; 3]], fiber: usize, node: usize) -> [f64; 3] {
+pub fn stretching_at(
+    topo: &SheetTopology,
+    pos: &[[f64; 3]],
+    fiber: usize,
+    node: usize,
+) -> [f64; 3] {
     let nn = topo.nodes_per_fiber;
     let along = |m: usize| pos[fiber * nn + m];
     let across = |f: usize| pos[f * nn + node];
     let mut f = chain_stretching_force(&along, node, nn, topo.ds_node, topo.k_stretch);
-    let g = chain_stretching_force(&across, fiber, topo.num_fibers, topo.ds_fiber, topo.k_stretch);
+    let g = chain_stretching_force(
+        &across,
+        fiber,
+        topo.num_fibers,
+        topo.ds_fiber,
+        topo.k_stretch,
+    );
     axpy(&mut f, 1.0, g);
     f
 }
@@ -157,7 +172,8 @@ pub fn compute_bending_force(sheet: &mut FiberSheet) {
     let pos = &sheet.pos;
     for fiber in 0..topo.num_fibers {
         for node in 0..topo.nodes_per_fiber {
-            sheet.bending[fiber * topo.nodes_per_fiber + node] = bending_at(&topo, pos, fiber, node);
+            sheet.bending[fiber * topo.nodes_per_fiber + node] =
+                bending_at(&topo, pos, fiber, node);
         }
     }
 }
@@ -245,7 +261,10 @@ mod tests {
         for i in 0..s.n() {
             for a in 0..3 {
                 assert!(s.bending[i][a].abs() < 1e-12, "bending node {i} axis {a}");
-                assert!(s.stretching[i][a].abs() < 1e-12, "stretching node {i} axis {a}");
+                assert!(
+                    s.stretching[i][a].abs() < 1e-12,
+                    "stretching node {i} axis {a}"
+                );
                 assert!(s.elastic[i][a].abs() < 1e-12, "elastic node {i} axis {a}");
             }
         }
@@ -273,7 +292,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         for p in s.pos.iter_mut() {
             for c in p.iter_mut() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *c += ((state >> 33) as f64 / 2f64.powi(31) - 1.0) * amp;
             }
         }
@@ -291,7 +312,11 @@ mod tests {
         let scale: f64 = s.elastic.iter().map(|f| norm(*f)).sum();
         assert!(scale > 1e-6, "perturbation should generate forces");
         for a in 0..3 {
-            assert!(total[a].abs() < 1e-10 * scale.max(1.0), "axis {a}: {}", total[a]);
+            assert!(
+                total[a].abs() < 1e-10 * scale.max(1.0),
+                "axis {a}: {}",
+                total[a]
+            );
         }
     }
 
@@ -336,7 +361,11 @@ mod tests {
         );
         s.pos[1][0] += 0.1; // bow out along x
         compute_bending_force(&mut s);
-        assert!(s.bending[1][0] < 0.0, "middle node pushed back: {:?}", s.bending[1]);
+        assert!(
+            s.bending[1][0] < 0.0,
+            "middle node pushed back: {:?}",
+            s.bending[1]
+        );
         assert!(s.bending[0][0] > 0.0);
         assert!(s.bending[2][0] > 0.0);
         let sum: f64 = (0..3).map(|i| s.bending[i][0]).sum();
@@ -388,7 +417,8 @@ mod tests {
                 pp[i][a] += h;
                 let mut pm = s.pos.clone();
                 pm[i][a] -= h;
-                let fd_bend = -(bending_energy(&topo, &pp) - bending_energy(&topo, &pm)) / (2.0 * h);
+                let fd_bend =
+                    -(bending_energy(&topo, &pp) - bending_energy(&topo, &pm)) / (2.0 * h);
                 let fd_str =
                     -(stretching_energy(&topo, &pp) - stretching_energy(&topo, &pm)) / (2.0 * h);
                 assert!(

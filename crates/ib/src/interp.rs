@@ -85,7 +85,13 @@ mod tests {
     fn constant_field_interpolated_exactly() {
         let dims = Dims::new(16, 16, 16);
         let bc = BoundaryConfig::periodic();
-        let u = interpolate_velocity([7.3, 8.9, 5.1], DeltaKind::Peskin4, dims, &bc, &Uniform([0.1, -0.2, 0.3]));
+        let u = interpolate_velocity(
+            [7.3, 8.9, 5.1],
+            DeltaKind::Peskin4,
+            dims,
+            &bc,
+            &Uniform([0.1, -0.2, 0.3]),
+        );
         assert!((u[0] - 0.1).abs() < 1e-13);
         assert!((u[1] + 0.2).abs() < 1e-13);
         assert!((u[2] - 0.3).abs() < 1e-13);
@@ -115,7 +121,14 @@ mod tests {
         let bc = BoundaryConfig::periodic();
         let mut sheet = FiberSheet::paper_sheet(3, 2.0, [8.0, 8.0, 8.0], 1.0, 1.0);
         let before = sheet.pos.clone();
-        move_fibers(&mut sheet, DeltaKind::Peskin4, dims, &bc, &Uniform([0.5, 0.0, -0.25]), 2.0);
+        move_fibers(
+            &mut sheet,
+            DeltaKind::Peskin4,
+            dims,
+            &bc,
+            &Uniform([0.5, 0.0, -0.25]),
+            2.0,
+        );
         for (p, q) in sheet.pos.iter().zip(&before) {
             assert!((p[0] - (q[0] + 1.0)).abs() < 1e-12);
             assert!((p[1] - q[1]).abs() < 1e-12);
@@ -129,7 +142,14 @@ mod tests {
         let bc = BoundaryConfig::tunnel();
         let mut sheet = FiberSheet::paper_sheet(4, 3.0, [8.0, 8.0, 8.0], 1.0, 1.0);
         let before = sheet.pos.clone();
-        move_fibers(&mut sheet, DeltaKind::Peskin4, dims, &bc, &Uniform([0.0; 3]), 1.0);
+        move_fibers(
+            &mut sheet,
+            DeltaKind::Peskin4,
+            dims,
+            &bc,
+            &Uniform([0.0; 3]),
+            1.0,
+        );
         assert_eq!(sheet.pos, before);
     }
 

@@ -3,15 +3,13 @@
 //! fiber-major and contiguous, so the per-fiber loops of Algorithms 3 and 4
 //! walk sequential memory.
 
-use serde::{Deserialize, Serialize};
-
 /// A fiber sheet: `num_fibers` fibers of `nodes_per_fiber` Lagrangian nodes.
 ///
 /// Node `(fiber, node)` lives at flat index `fiber * nodes_per_fiber + node`.
 /// Positions are in lattice units (fluid grid spacing h = 1). The three
 /// force arrays mirror the paper's kernels 1–3, which compute bending and
 /// stretching separately before summing them into the elastic force.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FiberSheet {
     pub num_fibers: usize,
     pub nodes_per_fiber: usize,
@@ -69,8 +67,14 @@ impl FiberSheet {
         k_bend: f64,
         k_stretch: f64,
     ) -> Self {
-        assert!(num_fibers >= 1 && nodes_per_fiber >= 1, "sheet must have nodes");
-        assert!(ds_node > 0.0 && ds_fiber > 0.0, "rest spacings must be positive");
+        assert!(
+            num_fibers >= 1 && nodes_per_fiber >= 1,
+            "sheet must have nodes"
+        );
+        assert!(
+            ds_node > 0.0 && ds_fiber > 0.0,
+            "rest spacings must be positive"
+        );
         let n = num_fibers * nodes_per_fiber;
         let mut pos = Vec::with_capacity(n);
         for f in 0..num_fibers {
@@ -102,11 +106,31 @@ impl FiberSheet {
     /// nodes (e.g. 52×52 for Table I, 104×104 for Figure 8) spanning a
     /// square of physical side `extent`, placed perpendicular to the x axis
     /// (fibers run along y, the sheet stacks along z), centred at `center`.
-    pub fn paper_sheet(n: usize, extent: f64, center: [f64; 3], k_bend: f64, k_stretch: f64) -> Self {
+    pub fn paper_sheet(
+        n: usize,
+        extent: f64,
+        center: [f64; 3],
+        k_bend: f64,
+        k_stretch: f64,
+    ) -> Self {
         assert!(n >= 2, "paper sheet needs at least 2x2 nodes");
         let ds = extent / (n - 1) as f64;
-        let origin = [center[0], center[1] - extent / 2.0, center[2] - extent / 2.0];
-        Self::flat(n, n, origin, [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], ds, ds, k_bend, k_stretch)
+        let origin = [
+            center[0],
+            center[1] - extent / 2.0,
+            center[2] - extent / 2.0,
+        ];
+        Self::flat(
+            n,
+            n,
+            origin,
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            ds,
+            ds,
+            k_bend,
+            k_stretch,
+        )
     }
 
     /// Geometric centroid of all fiber nodes.
@@ -148,7 +172,10 @@ impl FiberSheet {
 
     /// True if any node position or force is non-finite.
     pub fn has_nan(&self) -> bool {
-        self.pos.iter().chain(&self.elastic).any(|v| v.iter().any(|c| !c.is_finite()))
+        self.pos
+            .iter()
+            .chain(&self.elastic)
+            .any(|v| v.iter().any(|c| !c.is_finite()))
     }
 }
 

@@ -43,7 +43,11 @@ pub fn spread_node<S: ForceSink>(
             inf.x,
             inf.y,
             inf.z,
-            [f_l[0] * inf.weight, f_l[1] * inf.weight, f_l[2] * inf.weight],
+            [
+                f_l[0] * inf.weight,
+                f_l[1] * inf.weight,
+                f_l[2] * inf.weight,
+            ],
         );
     });
 }
@@ -87,7 +91,14 @@ mod tests {
     fn single_node_force_is_conserved() {
         let (dims, bc) = domain();
         let mut grid = FluidGrid::new(dims);
-        spread_node([10.3, 11.7, 12.1], [1.0, -2.0, 0.5], DeltaKind::Peskin4, dims, &bc, &mut grid);
+        spread_node(
+            [10.3, 11.7, 12.1],
+            [1.0, -2.0, 0.5],
+            DeltaKind::Peskin4,
+            dims,
+            &bc,
+            &mut grid,
+        );
         let t = total_grid_force(&grid);
         assert!((t[0] - 1.0).abs() < 1e-12, "{t:?}");
         assert!((t[1] + 2.0).abs() < 1e-12);
@@ -143,8 +154,22 @@ mod tests {
     fn spreading_accumulates_rather_than_overwrites() {
         let (dims, bc) = domain();
         let mut grid = FluidGrid::new(dims);
-        spread_node([10.0, 10.0, 10.0], [1.0, 0.0, 0.0], DeltaKind::Hat2, dims, &bc, &mut grid);
-        spread_node([10.0, 10.0, 10.0], [1.0, 0.0, 0.0], DeltaKind::Hat2, dims, &bc, &mut grid);
+        spread_node(
+            [10.0, 10.0, 10.0],
+            [1.0, 0.0, 0.0],
+            DeltaKind::Hat2,
+            dims,
+            &bc,
+            &mut grid,
+        );
+        spread_node(
+            [10.0, 10.0, 10.0],
+            [1.0, 0.0, 0.0],
+            DeltaKind::Hat2,
+            dims,
+            &bc,
+            &mut grid,
+        );
         let node = dims.idx(10, 10, 10);
         assert!((grid.fx[node] - 2.0).abs() < 1e-12);
     }
@@ -154,7 +179,14 @@ mod tests {
         let dims = Dims::new(8, 8, 8);
         let bc = BoundaryConfig::periodic();
         let mut grid = FluidGrid::new(dims);
-        spread_node([0.1, 4.0, 4.0], [1.0, 0.0, 0.0], DeltaKind::Peskin4, dims, &bc, &mut grid);
+        spread_node(
+            [0.1, 4.0, 4.0],
+            [1.0, 0.0, 0.0],
+            DeltaKind::Peskin4,
+            dims,
+            &bc,
+            &mut grid,
+        );
         // Some force must land on the wrapped x = 7 plane.
         let wrapped: f64 = (0..8)
             .flat_map(|y| (0..8).map(move |z| (y, z)))

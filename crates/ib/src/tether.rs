@@ -3,13 +3,11 @@
 //! the plate "in the middle region" while the rest of the structure flaps
 //! freely in the flow.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sheet::FiberSheet;
 
 /// One tethered node: a spring of the given stiffness between the node and
 /// a fixed anchor point.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Tether {
     /// Flat node index into the sheet.
     pub node: usize,
@@ -20,7 +18,7 @@ pub struct Tether {
 }
 
 /// A set of tethers applied to a sheet each time step.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TetherSet {
     pub tethers: Vec<Tether>,
 }
@@ -44,7 +42,11 @@ impl TetherSet {
                 let dn = node as f64 - cn;
                 if (df * df + dn * dn).sqrt() <= radius {
                     let idx = sheet.idx(fiber, node);
-                    tethers.push(Tether { node: idx, anchor: sheet.pos[idx], stiffness });
+                    tethers.push(Tether {
+                        node: idx,
+                        anchor: sheet.pos[idx],
+                        stiffness,
+                    });
                 }
             }
         }
@@ -57,7 +59,11 @@ impl TetherSet {
         let tethers = (0..sheet.num_fibers)
             .map(|fiber| {
                 let idx = sheet.idx(fiber, 0);
-                Tether { node: idx, anchor: sheet.pos[idx], stiffness }
+                Tether {
+                    node: idx,
+                    anchor: sheet.pos[idx],
+                    stiffness,
+                }
             })
             .collect();
         Self { tethers }

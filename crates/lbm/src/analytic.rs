@@ -158,7 +158,11 @@ mod tests {
         // decay over 200 steps must match exp(-2 nu k^2 t) within ~1%.
         let dims = Dims::new(16, 16, 1);
         let relax = Relaxation::new(0.8);
-        let tg = TaylorGreen { dims, u0: 0.02, nu: relax.viscosity() };
+        let tg = TaylorGreen {
+            dims,
+            u0: 0.02,
+            nu: relax.viscosity(),
+        };
         let mut s = PlainLbm::new(dims, relax, BoundaryConfig::periodic());
         s.initialize(|_, _, _| 1.0, |x, y, z| tg.velocity(x, y, z, 0.0));
         // Measure the decay *rate* between two simulated times (skipping the
@@ -181,7 +185,11 @@ mod tests {
     fn taylor_green_pointwise_error_small() {
         let dims = Dims::new(16, 16, 1);
         let relax = Relaxation::new(0.8);
-        let tg = TaylorGreen { dims, u0: 0.02, nu: relax.viscosity() };
+        let tg = TaylorGreen {
+            dims,
+            u0: 0.02,
+            nu: relax.viscosity(),
+        };
         let mut s = PlainLbm::new(dims, relax, BoundaryConfig::periodic());
         s.initialize(|_, _, _| 1.0, |x, y, z| tg.velocity(x, y, z, 0.0));
         let steps = 100u64;
@@ -200,7 +208,11 @@ mod tests {
         let err_at = |n: usize, steps: u64| -> f64 {
             let dims = Dims::new(n, n, 1);
             let relax = Relaxation::new(0.8);
-            let tg = TaylorGreen { dims, u0: 0.04 / (n as f64 / 8.0), nu: relax.viscosity() };
+            let tg = TaylorGreen {
+                dims,
+                u0: 0.04 / (n as f64 / 8.0),
+                nu: relax.viscosity(),
+            };
             let mut s = PlainLbm::new(dims, relax, BoundaryConfig::periodic());
             s.initialize(|_, _, _| 1.0, |x, y, z| tg.velocity(x, y, z, 0.0));
             s.run(steps);
@@ -230,7 +242,11 @@ mod tests {
         let mut s = PlainLbm::new(dims, relax, bc);
         s.body_force = [g, 0.0, 0.0];
         s.run(4000);
-        let profile = Poiseuille { ny, g, nu: relax.viscosity() };
+        let profile = Poiseuille {
+            ny,
+            g,
+            nu: relax.viscosity(),
+        };
         for y in 0..ny {
             let node = dims.idx(2, y, 2);
             let want = profile.ux(y);
@@ -250,7 +266,10 @@ mod tests {
         let u_lid = 0.02;
         let bc = BoundaryConfig {
             x: AxisBoundary::Periodic,
-            y: AxisBoundary::Walls { lo: [0.0; 3], hi: [u_lid, 0.0, 0.0] },
+            y: AxisBoundary::Walls {
+                lo: [0.0; 3],
+                hi: [u_lid, 0.0, 0.0],
+            },
             z: AxisBoundary::Periodic,
         };
         let mut s = PlainLbm::new(dims, relax, bc);

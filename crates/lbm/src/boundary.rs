@@ -7,13 +7,11 @@
 //! places the no-slip plane half a lattice spacing beyond the last fluid
 //! node (second-order accurate).
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::{Dims, FluidGrid};
 use crate::lattice::{E, EF, OPPOSITE, Q, W};
 
 /// Boundary treatment of one axis.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum AxisBoundary {
     /// Populations wrap around.
     Periodic,
@@ -25,7 +23,10 @@ pub enum AxisBoundary {
 impl AxisBoundary {
     /// No-slip walls at both ends.
     pub const fn no_slip() -> Self {
-        AxisBoundary::Walls { lo: [0.0; 3], hi: [0.0; 3] }
+        AxisBoundary::Walls {
+            lo: [0.0; 3],
+            hi: [0.0; 3],
+        }
     }
 
     /// True if this axis wraps.
@@ -36,7 +37,7 @@ impl AxisBoundary {
 
 /// Boundary configuration of the whole box. The paper's tunnel is periodic
 /// in x with no-slip walls in y and z.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BoundaryConfig {
     pub x: AxisBoundary,
     pub y: AxisBoundary,
@@ -78,9 +79,13 @@ impl BoundaryConfig {
     pub fn route(&self, dims: Dims, x: usize, y: usize, z: usize, i: usize) -> Route {
         match self.route_coords(dims, x, y, z, i) {
             CoordRoute::Neighbor(dst) => Route::Neighbor(dims.idx(dst[0], dst[1], dst[2])),
-            CoordRoute::BounceBack { opposite, wall_velocity } => {
-                Route::BounceBack { opposite, wall_velocity }
-            }
+            CoordRoute::BounceBack {
+                opposite,
+                wall_velocity,
+            } => Route::BounceBack {
+                opposite,
+                wall_velocity,
+            },
         }
     }
 
@@ -100,7 +105,10 @@ impl BoundaryConfig {
                     AxisBoundary::Periodic => dst[a] = (t.rem_euclid(ext[a])) as usize,
                     AxisBoundary::Walls { lo, hi } => {
                         let uw = if t < 0 { lo } else { hi };
-                        return CoordRoute::BounceBack { opposite: OPPOSITE[i], wall_velocity: uw };
+                        return CoordRoute::BounceBack {
+                            opposite: OPPOSITE[i],
+                            wall_velocity: uw,
+                        };
                     }
                 }
             } else {
@@ -117,7 +125,10 @@ pub enum CoordRoute {
     /// Lands in the node at these coordinates, same direction index.
     Neighbor([usize; 3]),
     /// Reflected off a wall back into the origin node.
-    BounceBack { opposite: usize, wall_velocity: [f64; 3] },
+    BounceBack {
+        opposite: usize,
+        wall_velocity: [f64; 3],
+    },
 }
 
 /// Precomputed routing tables for streaming: per-axis neighbour maps with a
@@ -214,7 +225,10 @@ pub enum Route {
     /// Lands in the given node, same direction index.
     Neighbor(usize),
     /// Reflected off a wall back into the origin node.
-    BounceBack { opposite: usize, wall_velocity: [f64; 3] },
+    BounceBack {
+        opposite: usize,
+        wall_velocity: [f64; 3],
+    },
 }
 
 /// Momentum-exchange correction for a population of weight index `i`
@@ -222,7 +236,8 @@ pub enum Route {
 /// `f'_{opp(i)} = f_i − 6 w_i ρ_w (e_i · u_w)` with `ρ_w ≈ 1`.
 #[inline]
 pub fn moving_wall_correction(i: usize, wall_velocity: [f64; 3]) -> f64 {
-    let eu = EF[i][0] * wall_velocity[0] + EF[i][1] * wall_velocity[1] + EF[i][2] * wall_velocity[2];
+    let eu =
+        EF[i][0] * wall_velocity[0] + EF[i][1] * wall_velocity[1] + EF[i][2] * wall_velocity[2];
     6.0 * W[i] * eu
 }
 
@@ -262,7 +277,10 @@ pub fn stream_push_routed_node(
                 let dst = (d[0] * dims.ny + d[1]) * dims.nz + d[2];
                 f_new[dst * Q + i] = v;
             }
-            CoordRoute::BounceBack { opposite, wall_velocity } => {
+            CoordRoute::BounceBack {
+                opposite,
+                wall_velocity,
+            } => {
                 f_new[node * Q + opposite] = v - moving_wall_correction(i, wall_velocity);
             }
         }
@@ -287,7 +305,10 @@ pub fn stream_push_bounded_node(
         let v = f[node * Q + i];
         match bc.route(dims, x, y, z, i) {
             Route::Neighbor(dst) => f_new[dst * Q + i] = v,
-            Route::BounceBack { opposite, wall_velocity } => {
+            Route::BounceBack {
+                opposite,
+                wall_velocity,
+            } => {
                 f_new[node * Q + opposite] = v - moving_wall_correction(i, wall_velocity);
             }
         }
@@ -364,7 +385,15 @@ pub fn stream_pull_bounded(grid: &mut FluidGrid, bc: &BoundaryConfig) {
         for y in 0..dims.ny {
             for z in 0..dims.nz {
                 let node = dims.idx(x, y, z);
-                stream_pull_routed_node(dims, &router, f, &mut f_new[node * Q..node * Q + Q], x, y, z);
+                stream_pull_routed_node(
+                    dims,
+                    &router,
+                    f,
+                    &mut f_new[node * Q..node * Q + Q],
+                    x,
+                    y,
+                    z,
+                );
             }
         }
     }
@@ -470,7 +499,10 @@ mod tests {
         let bc = BoundaryConfig {
             x: AxisBoundary::Periodic,
             y: AxisBoundary::no_slip(),
-            z: AxisBoundary::Walls { lo: [0.0; 3], hi: [0.02, 0.0, 0.0] },
+            z: AxisBoundary::Walls {
+                lo: [0.0; 3],
+                hi: [0.02, 0.0, 0.0],
+            },
         };
         let mut a = FluidGrid::new(dims);
         for (k, v) in a.f.iter_mut().enumerate() {
@@ -490,7 +522,10 @@ mod tests {
         let bc = BoundaryConfig::tunnel();
         // Interior node: all routes are neighbours.
         for i in 1..Q {
-            assert!(matches!(bc.route(dims, 1, 1, 1, i), Route::Neighbor(_)), "dir {i}");
+            assert!(
+                matches!(bc.route(dims, 1, 1, 1, i), Route::Neighbor(_)),
+                "dir {i}"
+            );
         }
         // Node on the y = 0 face: -y populations bounce.
         assert!(matches!(
@@ -506,7 +541,10 @@ mod tests {
             BoundaryConfig::periodic(),
             BoundaryConfig::tunnel(),
             BoundaryConfig {
-                x: AxisBoundary::Walls { lo: [0.0; 3], hi: [0.03, 0.0, 0.0] },
+                x: AxisBoundary::Walls {
+                    lo: [0.0; 3],
+                    hi: [0.03, 0.0, 0.0],
+                },
                 y: AxisBoundary::Periodic,
                 z: AxisBoundary::no_slip(),
             },
@@ -530,7 +568,10 @@ mod tests {
         // over a full wall-ful grid.
         let dims = Dims::new(4, 4, 4);
         let bc = BoundaryConfig {
-            x: AxisBoundary::Walls { lo: [0.0; 3], hi: [0.01, 0.0, 0.0] },
+            x: AxisBoundary::Walls {
+                lo: [0.0; 3],
+                hi: [0.01, 0.0, 0.0],
+            },
             y: AxisBoundary::no_slip(),
             z: AxisBoundary::Periodic,
         };

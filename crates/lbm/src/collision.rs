@@ -20,7 +20,10 @@ pub struct Relaxation {
 impl Relaxation {
     /// Creates a relaxation setting, validating τ > 0.5.
     pub fn new(tau: f64) -> Self {
-        assert!(tau > 0.5, "tau must exceed 0.5 for positive viscosity, got {tau}");
+        assert!(
+            tau > 0.5,
+            "tau must exceed 0.5 for positive viscosity, got {tau}"
+        );
         Self { tau }
     }
 
@@ -111,7 +114,13 @@ pub fn collide_grid(grid: &mut FluidGrid, relax: Relaxation) {
         let rho = grid.rho[node];
         let u = [grid.ux[node], grid.uy[node], grid.uz[node]];
         let force = [grid.fx[node], grid.fy[node], grid.fz[node]];
-        bgk_collide_node(&mut grid.f[node * Q..node * Q + Q], rho, u, force, relax.tau);
+        bgk_collide_node(
+            &mut grid.f[node * Q..node * Q + Q],
+            rho,
+            u,
+            force,
+            relax.tau,
+        );
     }
 }
 
@@ -168,7 +177,9 @@ mod tests {
         let force = [1e-4, -2e-4, 5e-5];
         let tau = 0.9;
         for a in 0..3 {
-            let m: f64 = (0..Q).map(|i| guo_source(i, u, force, tau) * EF[i][a]).sum();
+            let m: f64 = (0..Q)
+                .map(|i| guo_source(i, u, force, tau) * EF[i][a])
+                .sum();
             let want = (1.0 - 0.5 / tau) * force[a];
             assert!((m - want).abs() < 1e-16, "axis {a}: {m} vs {want}");
         }

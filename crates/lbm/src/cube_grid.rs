@@ -4,8 +4,6 @@
 //! the cube-centric solver owns and the working-set argument of the paper
 //! rests on.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::{Dims, FluidGrid};
 use crate::lattice::Q;
 
@@ -13,7 +11,7 @@ use crate::lattice::Q;
 ///
 /// All extents must be divisible by `k` (the paper makes the same
 /// assumption); [`CubeDims::new`] enforces it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CubeDims {
     pub dims: Dims,
     /// Cube edge length in nodes.
@@ -35,7 +33,13 @@ impl CubeDims {
             dims.ny,
             dims.nz
         );
-        Self { dims, k, cx: dims.nx / k, cy: dims.ny / k, cz: dims.nz / k }
+        Self {
+            dims,
+            k,
+            cx: dims.nx / k,
+            cy: dims.ny / k,
+            cz: dims.nz / k,
+        }
     }
 
     /// Total number of cubes.

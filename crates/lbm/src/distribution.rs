@@ -4,13 +4,11 @@
 //! block-cyclic policies are provided, with block distribution as the
 //! paper's default.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cube_grid::CubeDims;
 
 /// A 3D mesh of `p × q × r` threads (`n = p·q·r` total), Figure 6's
 /// "thread grid".
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ThreadMesh {
     pub p: usize,
     pub q: usize,
@@ -20,7 +18,10 @@ pub struct ThreadMesh {
 impl ThreadMesh {
     /// Creates a thread mesh. Panics if any extent is zero.
     pub fn new(p: usize, q: usize, r: usize) -> Self {
-        assert!(p > 0 && q > 0 && r > 0, "thread mesh extents must be positive");
+        assert!(
+            p > 0 && q > 0 && r > 0,
+            "thread mesh extents must be positive"
+        );
         Self { p, q, r }
     }
 
@@ -69,7 +70,7 @@ impl ThreadMesh {
 }
 
 /// Distribution policy for mapping cube/fiber indices to threads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Policy {
     /// Contiguous blocks: cube axis is cut into `P` (resp. Q, R) runs.
     Block,
@@ -103,7 +104,7 @@ fn axis_map(policy: Policy, pos: usize, extent: usize, threads: usize) -> usize 
 
 /// The paper's `cube2thread` distribution function: thread ID owning cube
 /// `(ci, cj, ck)` of the decomposition, on the given thread mesh.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CubeDistribution {
     pub mesh: ThreadMesh,
     pub policy: Policy,
@@ -113,7 +114,10 @@ impl CubeDistribution {
     /// Block distribution on a near-cubic mesh for `n` threads — the
     /// default configuration evaluated in the paper.
     pub fn block(n_threads: usize) -> Self {
-        Self { mesh: ThreadMesh::for_threads(n_threads), policy: Policy::Block }
+        Self {
+            mesh: ThreadMesh::for_threads(n_threads),
+            policy: Policy::Block,
+        }
     }
 
     /// Thread ID owning cube `(ci, cj, ck)`.
@@ -135,7 +139,9 @@ impl CubeDistribution {
     /// Owner of every cube, indexed by flat cube index. Computed once at
     /// solver start so the hot loops do a table lookup.
     pub fn ownership_table(&self, cdims: &CubeDims) -> Vec<usize> {
-        (0..cdims.num_cubes()).map(|c| self.owner_of(cdims, c)).collect()
+        (0..cdims.num_cubes())
+            .map(|c| self.owner_of(cdims, c))
+            .collect()
     }
 
     /// Number of cubes owned by each thread (load-balance diagnostics).
@@ -150,7 +156,7 @@ impl CubeDistribution {
 
 /// The paper's `fiber2thread`: fibers are dealt to threads. Block
 /// distribution over the fiber index by default.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FiberDistribution {
     pub n_threads: usize,
     pub policy: Policy,
@@ -160,7 +166,10 @@ impl FiberDistribution {
     /// Block distribution over `n_threads`.
     pub fn block(n_threads: usize) -> Self {
         assert!(n_threads > 0);
-        Self { n_threads, policy: Policy::Block }
+        Self {
+            n_threads,
+            policy: Policy::Block,
+        }
     }
 
     /// Thread ID owning fiber `i` out of `num_fibers`.
@@ -231,8 +240,9 @@ mod tests {
 
     #[test]
     fn block_cyclic_distribution_blocks_then_cycles() {
-        let owners: Vec<usize> =
-            (0..8).map(|p| axis_map(Policy::BlockCyclic { block: 2 }, p, 8, 2)).collect();
+        let owners: Vec<usize> = (0..8)
+            .map(|p| axis_map(Policy::BlockCyclic { block: 2 }, p, 8, 2))
+            .collect();
         assert_eq!(owners, vec![0, 0, 1, 1, 0, 0, 1, 1]);
     }
 
@@ -253,7 +263,10 @@ mod tests {
             let dist = CubeDistribution::block(n);
             let loads = dist.loads(&cdims);
             assert_eq!(loads.iter().sum::<usize>(), 64, "{n} threads");
-            assert!(loads.iter().all(|&l| l > 0), "{n} threads: idle thread, loads {loads:?}");
+            assert!(
+                loads.iter().all(|&l| l > 0),
+                "{n} threads: idle thread, loads {loads:?}"
+            );
         }
     }
 

@@ -104,7 +104,11 @@ mod tests {
         for a in 0..3 {
             for b in 0..3 {
                 let want = rho * u[a] * u[b] + if a == b { rho * CS2 } else { 0.0 };
-                assert!((s[a][b] - want).abs() < 1e-13, "({a},{b}): {} vs {want}", s[a][b]);
+                assert!(
+                    (s[a][b] - want).abs() < 1e-13,
+                    "({a},{b}): {} vs {want}",
+                    s[a][b]
+                );
             }
         }
     }

@@ -7,15 +7,13 @@
 //! 73% of the sequential run time in Table I — touches one small contiguous
 //! span per node.
 
-use serde::{Deserialize, Serialize};
-
 use crate::lattice::Q;
 
 /// Dimensions of a 3D fluid grid and its index algebra.
 ///
 /// A coordinate `(x, y, z)` maps to the flat node index
 /// `(x * ny + y) * nz + z`, i.e. z is the fastest-varying axis.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Dims {
     pub nx: usize,
     pub ny: usize,
@@ -25,7 +23,10 @@ pub struct Dims {
 impl Dims {
     /// Creates grid dimensions. Panics if any extent is zero.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive: {nx}x{ny}x{nz}");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid extents must be positive: {nx}x{ny}x{nz}"
+        );
         Self { nx, ny, nz }
     }
 
@@ -54,7 +55,15 @@ impl Dims {
 
     /// Adds an integer offset to a coordinate with periodic wrap-around.
     #[inline]
-    pub fn wrap(&self, x: usize, y: usize, z: usize, dx: i32, dy: i32, dz: i32) -> (usize, usize, usize) {
+    pub fn wrap(
+        &self,
+        x: usize,
+        y: usize,
+        z: usize,
+        dx: i32,
+        dy: i32,
+        dz: i32,
+    ) -> (usize, usize, usize) {
         (
             wrap_axis(x, dx, self.nx),
             wrap_axis(y, dy, self.ny),

@@ -83,7 +83,8 @@ pub const EF: [[f64; 3]; Q] = {
 /// Only vectors with components in `{-1, 0, 1}` and at most two non-zero
 /// components correspond to D3Q19 directions.
 pub fn direction_of(ex: i32, ey: i32, ez: i32) -> Option<usize> {
-    E.iter().position(|e| e[0] == ex && e[1] == ey && e[2] == ez)
+    E.iter()
+        .position(|e| e[0] == ex && e[1] == ey && e[2] == ez)
 }
 
 /// True if direction `i` has a positive component along axis `axis`
@@ -193,7 +194,8 @@ mod tests {
                         let m: f64 = (0..Q)
                             .map(|i| W[i] * EF[i][a] * EF[i][b] * EF[i][c] * EF[i][e])
                             .sum();
-                        let want = CS2 * CS2 * (d(a, b) * d(c, e) + d(a, c) * d(b, e) + d(a, e) * d(b, c));
+                        let want =
+                            CS2 * CS2 * (d(a, b) * d(c, e) + d(a, c) * d(b, e) + d(a, e) * d(b, c));
                         assert!((m - want).abs() < 1e-15, "({a},{b},{c},{e}): {m} vs {want}");
                     }
                 }
@@ -206,7 +208,11 @@ mod tests {
         for (i, e) in E.iter().enumerate() {
             assert_eq!(direction_of(e[0], e[1], e[2]), Some(i));
         }
-        assert_eq!(direction_of(1, 1, 1), None, "corner velocities are not in D3Q19");
+        assert_eq!(
+            direction_of(1, 1, 1),
+            None,
+            "corner velocities are not in D3Q19"
+        );
         assert_eq!(direction_of(2, 0, 0), None);
     }
 

@@ -197,7 +197,10 @@ mod tests {
             assert!((u[a] - u_half[a]).abs() < 1e-15, "axis {a}");
             // u_eq differs from the bare velocity by τF/ρ.
             let (_, bare) = node_moments(&f, [0.0; 3]);
-            assert!((ueq[a] - (bare[a] + tau * force[a] / rho)).abs() < 1e-15, "axis {a}");
+            assert!(
+                (ueq[a] - (bare[a] + tau * force[a] / rho)).abs() < 1e-15,
+                "axis {a}"
+            );
         }
     }
 
@@ -218,7 +221,11 @@ mod tests {
         bgk_collide_node(&mut f, rho, ueq, [0.0; 3], tau);
         for a in 0..3 {
             let dp = mom(&f, a) - p_before[a];
-            assert!((dp - force[a]).abs() < 1e-15, "axis {a}: dp {dp} vs F {}", force[a]);
+            assert!(
+                (dp - force[a]).abs() < 1e-15,
+                "axis {a}: dp {dp} vs F {}",
+                force[a]
+            );
         }
     }
 

@@ -107,10 +107,10 @@ pub fn max_vorticity(grid: &FluidGrid) -> f64 {
 mod tests {
     use super::*;
     use crate::analytic::TaylorGreen;
-    use crate::grid::Dims;
     use crate::boundary::{AxisBoundary, BoundaryConfig};
     use crate::collision::Relaxation;
     use crate::equilibrium::feq;
+    use crate::grid::Dims;
     use crate::stepper::PlainLbm;
 
     #[test]
@@ -165,7 +165,10 @@ mod tests {
         let relax = Relaxation::new(0.8);
         let bc = BoundaryConfig {
             x: AxisBoundary::Periodic,
-            y: AxisBoundary::Walls { lo: [0.0; 3], hi: [u_lid, 0.0, 0.0] },
+            y: AxisBoundary::Walls {
+                lo: [0.0; 3],
+                hi: [u_lid, 0.0, 0.0],
+            },
             z: AxisBoundary::Periodic,
         };
         let mut s = PlainLbm::new(dims, relax, bc);
@@ -187,26 +190,41 @@ mod tests {
         // the walls corrupts the boundary rows).
         let w = vorticity_field(&s.grid);
         let wz = w[node][2];
-        assert!((wz + dudy).abs() < 0.05 * dudy, "omega_z {wz} vs analytic {}", -dudy);
+        assert!(
+            (wz + dudy).abs() < 0.05 * dudy,
+            "omega_z {wz} vs analytic {}",
+            -dudy
+        );
 
         // Shear stress: sigma_xy = 2 rho nu S_xy = rho nu du/dy.
         let sigma = shear_stress_node(s.grid.node_f(node), s.grid.rho[node], u, relax.tau);
         let want = s.grid.rho[node] * relax.viscosity() * dudy;
-        assert!((sigma[0][1] - want).abs() < 0.05 * want, "sigma {} vs {want}", sigma[0][1]);
+        assert!(
+            (sigma[0][1] - want).abs() < 0.05 * want,
+            "sigma {} vs {want}",
+            sigma[0][1]
+        );
     }
 
     #[test]
     fn taylor_green_vorticity_peaks_at_vortex_cores() {
         let dims = Dims::new(16, 16, 1);
         let relax = Relaxation::new(0.8);
-        let tg = TaylorGreen { dims, u0: 0.02, nu: relax.viscosity() };
+        let tg = TaylorGreen {
+            dims,
+            u0: 0.02,
+            nu: relax.viscosity(),
+        };
         let mut s = PlainLbm::new(dims, relax, BoundaryConfig::periodic());
         s.initialize(|_, _, _| 1.0, |x, y, z| tg.velocity(x, y, z, 0.0));
         // Measure at t = 0: the velocity field is exactly the analytic one.
         let w = vorticity_field(&s.grid);
         // All vorticity is in the z component for a 2D flow.
         for (i, wi) in w.iter().enumerate() {
-            assert!(wi[0].abs() < 1e-12 && wi[1].abs() < 1e-12, "node {i}: {wi:?}");
+            assert!(
+                wi[0].abs() < 1e-12 && wi[1].abs() < 1e-12,
+                "node {i}: {wi:?}"
+            );
         }
         let max = max_vorticity(&s.grid);
         // ω_z = 2 u0 k sin(kx x) sin(ky y); central differences of a sine

@@ -22,7 +22,13 @@ impl PlainLbm {
     pub fn new(dims: Dims, relax: Relaxation, bc: BoundaryConfig) -> Self {
         let mut grid = FluidGrid::new(dims);
         initialize_equilibrium(&mut grid, |_, _, _| 1.0, |_, _, _| [0.0; 3]);
-        Self { grid, relax, bc, body_force: [0.0; 3], steps_done: 0 }
+        Self {
+            grid,
+            relax,
+            bc,
+            body_force: [0.0; 3],
+            steps_done: 0,
+        }
     }
 
     /// Re-initialises the fluid to equilibrium at the given fields.
@@ -69,7 +75,11 @@ mod tests {
 
     #[test]
     fn rest_fluid_stays_at_rest() {
-        let mut s = PlainLbm::new(Dims::new(6, 6, 6), Relaxation::new(0.8), BoundaryConfig::periodic());
+        let mut s = PlainLbm::new(
+            Dims::new(6, 6, 6),
+            Relaxation::new(0.8),
+            BoundaryConfig::periodic(),
+        );
         s.run(5);
         assert_eq!(s.steps_done(), 5);
         for node in 0..s.grid.n() {
@@ -82,8 +92,15 @@ mod tests {
 
     #[test]
     fn mass_conserved_over_steps() {
-        let mut s = PlainLbm::new(Dims::new(8, 6, 4), Relaxation::new(0.7), BoundaryConfig::tunnel());
-        s.initialize(|_, _, _| 1.0, |x, y, _| [0.01 * (x as f64).sin(), 0.005 * (y as f64).cos(), 0.0]);
+        let mut s = PlainLbm::new(
+            Dims::new(8, 6, 4),
+            Relaxation::new(0.7),
+            BoundaryConfig::tunnel(),
+        );
+        s.initialize(
+            |_, _, _| 1.0,
+            |x, y, _| [0.01 * (x as f64).sin(), 0.005 * (y as f64).cos(), 0.0],
+        );
         let m0 = s.grid.total_mass();
         s.run(20);
         let m1 = s.grid.total_mass();
@@ -95,7 +112,11 @@ mod tests {
         let tau = 0.9;
         let g = 1e-4;
         let n = 10u64;
-        let mut s = PlainLbm::new(Dims::new(4, 4, 4), Relaxation::new(tau), BoundaryConfig::periodic());
+        let mut s = PlainLbm::new(
+            Dims::new(4, 4, 4),
+            Relaxation::new(tau),
+            BoundaryConfig::periodic(),
+        );
         s.body_force = [g, 0.0, 0.0];
         s.run(n);
         // With no walls the fluid accelerates uniformly by exactly g per
@@ -115,14 +136,25 @@ mod tests {
     fn walls_resist_body_force() {
         // With no-slip walls the mean velocity saturates instead of growing
         // linearly (momentum drains into the walls).
-        let mut free = PlainLbm::new(Dims::new(4, 6, 4), Relaxation::new(0.8), BoundaryConfig::periodic());
-        let mut walled = PlainLbm::new(Dims::new(4, 6, 4), Relaxation::new(0.8), BoundaryConfig::tunnel());
+        let mut free = PlainLbm::new(
+            Dims::new(4, 6, 4),
+            Relaxation::new(0.8),
+            BoundaryConfig::periodic(),
+        );
+        let mut walled = PlainLbm::new(
+            Dims::new(4, 6, 4),
+            Relaxation::new(0.8),
+            BoundaryConfig::tunnel(),
+        );
         free.body_force = [1e-4, 0.0, 0.0];
         walled.body_force = [1e-4, 0.0, 0.0];
         free.run(200);
         walled.run(200);
         let mean = |s: &PlainLbm| s.grid.ux.iter().sum::<f64>() / s.grid.n() as f64;
-        assert!(mean(&walled) < 0.8 * mean(&free), "walls should slow the channel");
+        assert!(
+            mean(&walled) < 0.8 * mean(&free),
+            "walls should slow the channel"
+        );
         assert!(mean(&walled) > 0.0);
     }
 }

@@ -21,7 +21,10 @@ impl UnitConverter {
     /// Builds a converter from explicit scales. Panics on non-positive
     /// scales.
     pub fn new(dx: f64, dt: f64, rho0: f64) -> Self {
-        assert!(dx > 0.0 && dt > 0.0 && rho0 > 0.0, "scales must be positive");
+        assert!(
+            dx > 0.0 && dt > 0.0 && rho0 > 0.0,
+            "scales must be positive"
+        );
         Self { dx, dt, rho0 }
     }
 
@@ -105,8 +108,7 @@ mod tests {
     fn from_physical_preserves_reynolds() {
         // Water tunnel: 2 cm channel resolved by 64 nodes, 0.1 m/s inflow
         // mapped to lattice velocity 0.05, water viscosity 1e-6 m²/s.
-        let (conv, relax) =
-            UnitConverter::from_physical(0.02, 64.0, 0.1, 0.05, 1e-6, 1000.0);
+        let (conv, relax) = UnitConverter::from_physical(0.02, 64.0, 0.1, 0.05, 1e-6, 1000.0);
         let re_phys = 0.1 * 0.02 / 1e-6;
         let re_lat = UnitConverter::reynolds(0.05, 64.0, relax);
         assert!(

@@ -12,7 +12,10 @@ use lbm_ib::output::dump_sheet_snapshot;
 use lbm_ib::{OpenMpSolver, SheetConfig, SimulationConfig, TetherConfig};
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
 
     let mut config = SimulationConfig::quick_test();
     config.nx = 48;
@@ -24,7 +27,10 @@ fn main() {
         k_stretch: 4e-2,
         // Fasten every node within 3 index units of the centre — the
         // "fastened in the middle region" plate of Figure 1.
-        tether: TetherConfig::CenterRegion { radius: 3.0, stiffness: 0.15 },
+        tether: TetherConfig::CenterRegion {
+            radius: 3.0,
+            stiffness: 0.15,
+        },
         ..SheetConfig::square(17, 8.0, [16.0, 12.0, 12.0])
     };
     config.validate().expect("config");

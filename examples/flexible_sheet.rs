@@ -17,7 +17,10 @@ use lbm_ib::output::{append_trajectory_row, dump_sheet_snapshot, trajectory_head
 use lbm_ib::{CubeSolver, SheetConfig, SimulationConfig};
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
 
     // A longer tunnel than quickstart, with a 20x20-node sheet starting in
     // the first quarter, free to move (no tethers) — Figure 7's moving
@@ -40,7 +43,10 @@ fn main() {
     trajectory_header(&mut traj).unwrap();
 
     println!("Figure 7 scenario: flexible sheet in a tunnel flow ({steps} steps)");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
     let mut solver = CubeSolver::new(config, threads);
 
     let sample_every = (steps / 20).max(1);
@@ -61,7 +67,10 @@ fn main() {
 
     let final_state = solver.to_state();
     let c = final_state.sheet.centroid();
-    println!("\nsheet centroid moved to x = {:.2} (started at 14.0)", c[0]);
+    println!(
+        "\nsheet centroid moved to x = {:.2} (started at 14.0)",
+        c[0]
+    );
     assert!(c[0] > 14.0, "the sheet should be advected downstream");
     println!(
         "wrote {} snapshots and trajectory.csv into {}",

@@ -23,7 +23,12 @@ fn main() {
     println!("LBM-IB quickstart");
     println!(
         "fluid {}x{}x{}, sheet {}x{} nodes, tau = {}",
-        config.nx, config.ny, config.nz, config.sheet.num_fibers, config.sheet.nodes_per_fiber, config.tau
+        config.nx,
+        config.ny,
+        config.nz,
+        config.sheet.num_fibers,
+        config.sheet.nodes_per_fiber,
+        config.tau
     );
 
     // 2. Simulate with the sequential solver, printing diagnostics.
@@ -50,8 +55,14 @@ fn main() {
     let omp_diff = compare_states(&seq.state, &omp.state);
     let cube_diff = compare_states(&seq.state, &cube.to_state());
     println!("\nverification against the sequential solver after {steps} steps:");
-    println!("  OpenMP-style (4 threads): max |Δ| = {:.3e}", omp_diff.worst());
-    println!("  cube-centric (4 threads): max |Δ| = {:.3e}", cube_diff.worst());
+    println!(
+        "  OpenMP-style (4 threads): max |Δ| = {:.3e}",
+        omp_diff.worst()
+    );
+    println!(
+        "  cube-centric (4 threads): max |Δ| = {:.3e}",
+        cube_diff.worst()
+    );
     assert!(omp_diff.within(1e-10), "OpenMP solver diverged");
     assert!(cube_diff.within(1e-10), "cube solver diverged");
     println!("all solvers agree ✓");

@@ -14,7 +14,11 @@ fn run_resolution(n: usize, steps: u64) -> (f64, f64, f64) {
     let relax = Relaxation::new(0.8);
     // Diffusive scaling: velocity shrinks with resolution so the Mach
     // regime matches across runs.
-    let tg = TaylorGreen { dims, u0: 0.04 * 8.0 / n as f64, nu: relax.viscosity() };
+    let tg = TaylorGreen {
+        dims,
+        u0: 0.04 * 8.0 / n as f64,
+        nu: relax.viscosity(),
+    };
     let mut solver = PlainLbm::new(dims, relax, BoundaryConfig::periodic());
     solver.initialize(|_, _, _| 1.0, |x, y, z| tg.velocity(x, y, z, 0.0));
     let e0 = kinetic_energy(&solver.grid);

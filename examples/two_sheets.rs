@@ -43,7 +43,10 @@ impl Body {
 }
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let dims = Dims::new(64, 24, 24);
     let bc = BoundaryConfig::tunnel();
     let delta = DeltaKind::Peskin4;
@@ -59,8 +62,14 @@ fn main() {
     let free_sheet = FiberSheet::paper_sheet(11, 5.0, [34.0, 13.5, 12.0], 5e-4, 5e-2);
 
     let mut bodies = vec![
-        Body { sheet: plate, tethers: plate_tethers },
-        Body { sheet: free_sheet, tethers: TetherSet::none() },
+        Body {
+            sheet: plate,
+            tethers: plate_tethers,
+        },
+        Body {
+            sheet: free_sheet,
+            tethers: TetherSet::none(),
+        },
     ];
 
     println!("two structures in one tunnel flow, {steps} steps");
@@ -82,7 +91,13 @@ fn main() {
         for node in 0..fluid.n() {
             let ueq = [fluid.ueqx[node], fluid.ueqy[node], fluid.ueqz[node]];
             let rho = fluid.rho[node];
-            bgk_collide_node(&mut fluid.f[node * Q..node * Q + Q], rho, ueq, [0.0; 3], TAU);
+            bgk_collide_node(
+                &mut fluid.f[node * Q..node * Q + Q],
+                rho,
+                ueq,
+                [0.0; 3],
+                TAU,
+            );
         }
         // Kernels 6, 7.
         stream_push_bounded(&mut fluid, &bc);
@@ -109,9 +124,18 @@ fn main() {
 
     let plate_x1 = bodies[0].sheet.centroid()[0];
     let free_x1 = bodies[1].sheet.centroid()[0];
-    println!("\nplate drift: {:.4} (tethered, should be ~0)", plate_x1 - plate_x0);
-    println!("free sheet drift: {:.4} (should be downstream > 0)", free_x1 - free_x0);
+    println!(
+        "\nplate drift: {:.4} (tethered, should be ~0)",
+        plate_x1 - plate_x0
+    );
+    println!(
+        "free sheet drift: {:.4} (should be downstream > 0)",
+        free_x1 - free_x0
+    );
     assert!((plate_x1 - plate_x0).abs() < 0.5, "fastened plate drifted");
     assert!(free_x1 > free_x0, "free sheet must advect");
-    assert!(!bodies.iter().any(|b| b.sheet.has_nan()), "NaN in structure");
+    assert!(
+        !bodies.iter().any(|b| b.sheet.has_nan()),
+        "NaN in structure"
+    );
 }

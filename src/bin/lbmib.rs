@@ -63,7 +63,9 @@ impl Solver {
             Solver::Seq(s) => s.profile.table(),
             Solver::Omp(s) => s.profile.table(),
             Solver::Cube(s) => s.profile.table(),
-            Solver::Dist(_) => "(no per-kernel profile for the distributed prototype)\n".to_string(),
+            Solver::Dist(_) => {
+                "(no per-kernel profile for the distributed prototype)\n".to_string()
+            }
         }
     }
 }
@@ -99,7 +101,11 @@ fn build_config(args: &Args) -> SimulationConfig {
         config.sheet = SheetConfig::square(
             n,
             extent,
-            [config.nx as f64 / 4.0, config.ny as f64 / 2.0, config.nz as f64 / 2.0],
+            [
+                config.nx as f64 / 4.0,
+                config.ny as f64 / 2.0,
+                config.nz as f64 / 2.0,
+            ],
         );
     }
     config.sheet.tether = match args.get::<String>("tether").as_deref() {
@@ -142,7 +148,9 @@ fn main() {
     let steps: u64 = args.get_or("steps", 100);
     let threads: usize = args.get_or(
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     let solver_name = args.get_or("solver", "cube".to_string());
 

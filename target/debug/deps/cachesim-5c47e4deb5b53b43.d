@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cachesim-5c47e4deb5b53b43.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/debug/deps/libcachesim-5c47e4deb5b53b43.rlib: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/debug/deps/libcachesim-5c47e4deb5b53b43.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cachesim-961c07911d576f05.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/debug/deps/cachesim-961c07911d576f05: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cachesim-ae44c7315850cd4c.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcachesim-ae44c7315850cd4c.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

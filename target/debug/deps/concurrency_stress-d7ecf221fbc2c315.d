@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency_stress-d7ecf221fbc2c315.d: crates/core/tests/concurrency_stress.rs
+
+/root/repo/target/debug/deps/concurrency_stress-d7ecf221fbc2c315: crates/core/tests/concurrency_stress.rs
+
+crates/core/tests/concurrency_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency_stress-ef4c8b4c1d71b3a1.d: crates/core/tests/concurrency_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency_stress-ef4c8b4c1d71b3a1.rmeta: crates/core/tests/concurrency_stress.rs Cargo.toml
+
+crates/core/tests/concurrency_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency_stress-f0cad01b6458808f.d: crates/core/tests/concurrency_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency_stress-f0cad01b6458808f.rmeta: crates/core/tests/concurrency_stress.rs Cargo.toml
+
+crates/core/tests/concurrency_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_and_failure-46df380e9bde962c.d: tests/determinism_and_failure.rs
+
+/root/repo/target/debug/deps/determinism_and_failure-46df380e9bde962c: tests/determinism_and_failure.rs
+
+tests/determinism_and_failure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism_and_failure-5b01066aca54ef8b.d: tests/determinism_and_failure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_and_failure-5b01066aca54ef8b.rmeta: tests/determinism_and_failure.rs Cargo.toml
+
+tests/determinism_and_failure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

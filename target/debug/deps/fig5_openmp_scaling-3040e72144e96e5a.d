@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_openmp_scaling-3040e72144e96e5a.d: crates/bench/src/bin/fig5_openmp_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_openmp_scaling-3040e72144e96e5a.rmeta: crates/bench/src/bin/fig5_openmp_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig5_openmp_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_openmp_scaling-9505c51196ed78be.d: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+/root/repo/target/debug/deps/fig5_openmp_scaling-9505c51196ed78be: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+crates/bench/src/bin/fig5_openmp_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_openmp_scaling-edba1c5c1d4bf8bf.d: crates/bench/src/bin/fig5_openmp_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_openmp_scaling-edba1c5c1d4bf8bf.rmeta: crates/bench/src/bin/fig5_openmp_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig5_openmp_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

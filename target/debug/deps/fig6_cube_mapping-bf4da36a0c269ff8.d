@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_cube_mapping-bf4da36a0c269ff8.d: crates/bench/src/bin/fig6_cube_mapping.rs
+
+/root/repo/target/debug/deps/fig6_cube_mapping-bf4da36a0c269ff8: crates/bench/src/bin/fig6_cube_mapping.rs
+
+crates/bench/src/bin/fig6_cube_mapping.rs:

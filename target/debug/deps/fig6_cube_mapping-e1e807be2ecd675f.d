@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_cube_mapping-e1e807be2ecd675f.d: crates/bench/src/bin/fig6_cube_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_cube_mapping-e1e807be2ecd675f.rmeta: crates/bench/src/bin/fig6_cube_mapping.rs Cargo.toml
+
+crates/bench/src/bin/fig6_cube_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_weak_scaling-6e7478575d157ecb.d: crates/bench/src/bin/fig8_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_weak_scaling-6e7478575d157ecb.rmeta: crates/bench/src/bin/fig8_weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig8_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_weak_scaling-7480d81400dac804.d: crates/bench/src/bin/fig8_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig8_weak_scaling-7480d81400dac804: crates/bench/src/bin/fig8_weak_scaling.rs
+
+crates/bench/src/bin/fig8_weak_scaling.rs:

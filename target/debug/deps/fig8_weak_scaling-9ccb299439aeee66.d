@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_weak_scaling-9ccb299439aeee66.d: crates/bench/src/bin/fig8_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_weak_scaling-9ccb299439aeee66.rmeta: crates/bench/src/bin/fig8_weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig8_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

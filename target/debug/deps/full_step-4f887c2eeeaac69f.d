@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_step-4f887c2eeeaac69f.d: crates/bench/benches/full_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_step-4f887c2eeeaac69f.rmeta: crates/bench/benches/full_step.rs Cargo.toml
+
+crates/bench/benches/full_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

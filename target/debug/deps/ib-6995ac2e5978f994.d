@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ib-6995ac2e5978f994.d: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs Cargo.toml
+
+/root/repo/target/debug/deps/libib-6995ac2e5978f994.rmeta: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs Cargo.toml
+
+crates/ib/src/lib.rs:
+crates/ib/src/delta.rs:
+crates/ib/src/forces.rs:
+crates/ib/src/interp.rs:
+crates/ib/src/sheet.rs:
+crates/ib/src/spread.rs:
+crates/ib/src/tether.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbm_ib_bench-04c07fcdb5367a91.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbm_ib_bench-04c07fcdb5367a91.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

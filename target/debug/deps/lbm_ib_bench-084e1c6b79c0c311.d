@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbm_ib_bench-084e1c6b79c0c311.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbm_ib_bench-084e1c6b79c0c311.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

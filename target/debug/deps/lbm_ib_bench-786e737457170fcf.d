@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbm_ib_bench-786e737457170fcf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lbm_ib_bench-786e737457170fcf: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lbm_ib_bench-83a7f6c08af71c2a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblbm_ib_bench-83a7f6c08af71c2a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblbm_ib_bench-83a7f6c08af71c2a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

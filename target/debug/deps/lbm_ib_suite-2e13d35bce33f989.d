@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lbm_ib_suite-2e13d35bce33f989.d: src/lib.rs
+
+/root/repo/target/debug/deps/lbm_ib_suite-2e13d35bce33f989: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbm_ib_suite-47ff98f8806ec82f.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblbm_ib_suite-47ff98f8806ec82f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblbm_ib_suite-47ff98f8806ec82f.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbmib-1b9073bb60b48357.d: src/bin/lbmib.rs
+
+/root/repo/target/debug/deps/lbmib-1b9073bb60b48357: src/bin/lbmib.rs
+
+src/bin/lbmib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbmib-7be9e1651d3b32e8.d: src/bin/lbmib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbmib-7be9e1651d3b32e8.rmeta: src/bin/lbmib.rs Cargo.toml
+
+src/bin/lbmib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

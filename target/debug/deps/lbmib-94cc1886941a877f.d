@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbmib-94cc1886941a877f.d: src/bin/lbmib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbmib-94cc1886941a877f.rmeta: src/bin/lbmib.rs Cargo.toml
+
+src/bin/lbmib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbmib-caafb4c7724b0fde.d: src/bin/lbmib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbmib-caafb4c7724b0fde.rmeta: src/bin/lbmib.rs Cargo.toml
+
+src/bin/lbmib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

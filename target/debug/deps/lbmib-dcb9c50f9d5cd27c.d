@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbmib-dcb9c50f9d5cd27c.d: src/bin/lbmib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbmib-dcb9c50f9d5cd27c.rmeta: src/bin/lbmib.rs Cargo.toml
+
+src/bin/lbmib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

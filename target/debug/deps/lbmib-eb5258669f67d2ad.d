@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbmib-eb5258669f67d2ad.d: src/bin/lbmib.rs
+
+/root/repo/target/debug/deps/lbmib-eb5258669f67d2ad: src/bin/lbmib.rs
+
+src/bin/lbmib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom-0f482d14a518881e.d: crates/core/tests/loom.rs
+
+/root/repo/target/debug/deps/loom-0f482d14a518881e: crates/core/tests/loom.rs
+
+crates/core/tests/loom.rs:

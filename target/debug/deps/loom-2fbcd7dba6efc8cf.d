@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom-2fbcd7dba6efc8cf.d: crates/core/tests/loom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-2fbcd7dba6efc8cf.rmeta: crates/core/tests/loom.rs Cargo.toml
+
+crates/core/tests/loom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

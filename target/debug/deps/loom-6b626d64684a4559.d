@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom-6b626d64684a4559.d: crates/core/tests/loom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-6b626d64684a4559.rmeta: crates/core/tests/loom.rs Cargo.toml
+
+crates/core/tests/loom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

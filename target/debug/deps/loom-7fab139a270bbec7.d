@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loom-7fab139a270bbec7.d: crates/loom/src/lib.rs crates/loom/src/rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-7fab139a270bbec7.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs Cargo.toml
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-8bffabf78af637d8.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-8bffabf78af637d8.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

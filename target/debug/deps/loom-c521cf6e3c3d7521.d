@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loom-c521cf6e3c3d7521.d: crates/loom/src/lib.rs crates/loom/src/rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-c521cf6e3c3d7521.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs Cargo.toml
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-ef9165f456eb98ae.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/loom-ef9165f456eb98ae: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

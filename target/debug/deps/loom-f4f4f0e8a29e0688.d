@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loom-f4f4f0e8a29e0688.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-f4f4f0e8a29e0688.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-f4f4f0e8a29e0688.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/moving_wall-04205d7b6becc56e.d: tests/moving_wall.rs
+
+/root/repo/target/debug/deps/moving_wall-04205d7b6becc56e: tests/moving_wall.rs
+
+tests/moving_wall.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/moving_wall-322b34e8015c1732.d: tests/moving_wall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmoving_wall-322b34e8015c1732.rmeta: tests/moving_wall.rs Cargo.toml
+
+tests/moving_wall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_structure-001740a81ffae9c0.d: tests/multi_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_structure-001740a81ffae9c0.rmeta: tests/multi_structure.rs Cargo.toml
+
+tests/multi_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

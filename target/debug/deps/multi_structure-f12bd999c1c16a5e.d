@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_structure-f12bd999c1c16a5e.d: tests/multi_structure.rs
+
+/root/repo/target/debug/deps/multi_structure-f12bd999c1c16a5e: tests/multi_structure.rs
+
+tests/multi_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics_validation-28bbce3964aa07a3.d: tests/physics_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics_validation-28bbce3964aa07a3.rmeta: tests/physics_validation.rs Cargo.toml
+
+tests/physics_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics_validation-49cf936103d056cf.d: tests/physics_validation.rs
+
+/root/repo/target/debug/deps/physics_validation-49cf936103d056cf: tests/physics_validation.rs
+
+tests/physics_validation.rs:

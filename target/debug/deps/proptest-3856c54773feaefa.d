@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3856c54773feaefa.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-3856c54773feaefa: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

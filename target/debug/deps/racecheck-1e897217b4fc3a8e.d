@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/racecheck-1e897217b4fc3a8e.d: crates/core/tests/racecheck.rs
+
+/root/repo/target/debug/deps/racecheck-1e897217b4fc3a8e: crates/core/tests/racecheck.rs
+
+crates/core/tests/racecheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/racecheck-4c2761b8dbd50a5b.d: crates/core/tests/racecheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libracecheck-4c2761b8dbd50a5b.rmeta: crates/core/tests/racecheck.rs Cargo.toml
+
+crates/core/tests/racecheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

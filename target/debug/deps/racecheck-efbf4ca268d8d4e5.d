@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/racecheck-efbf4ca268d8d4e5.d: crates/core/tests/racecheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libracecheck-efbf4ca268d8d4e5.rmeta: crates/core/tests/racecheck.rs Cargo.toml
+
+crates/core/tests/racecheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

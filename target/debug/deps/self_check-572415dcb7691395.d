@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/self_check-572415dcb7691395.d: crates/loom/tests/self_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_check-572415dcb7691395.rmeta: crates/loom/tests/self_check.rs Cargo.toml
+
+crates/loom/tests/self_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

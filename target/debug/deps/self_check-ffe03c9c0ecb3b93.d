@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_check-ffe03c9c0ecb3b93.d: crates/loom/tests/self_check.rs
+
+/root/repo/target/debug/deps/self_check-ffe03c9c0ecb3b93: crates/loom/tests/self_check.rs
+
+crates/loom/tests/self_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_equivalence-6194b50f9ace4ed1.d: tests/solver_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_equivalence-6194b50f9ace4ed1.rmeta: tests/solver_equivalence.rs Cargo.toml
+
+tests/solver_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

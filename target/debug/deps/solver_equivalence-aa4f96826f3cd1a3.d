@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_equivalence-aa4f96826f3cd1a3.d: tests/solver_equivalence.rs
+
+/root/repo/target/debug/deps/solver_equivalence-aa4f96826f3cd1a3: tests/solver_equivalence.rs
+
+tests/solver_equivalence.rs:

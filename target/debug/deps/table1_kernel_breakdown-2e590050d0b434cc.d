@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_kernel_breakdown-2e590050d0b434cc.d: crates/bench/src/bin/table1_kernel_breakdown.rs
+
+/root/repo/target/debug/deps/table1_kernel_breakdown-2e590050d0b434cc: crates/bench/src/bin/table1_kernel_breakdown.rs
+
+crates/bench/src/bin/table1_kernel_breakdown.rs:

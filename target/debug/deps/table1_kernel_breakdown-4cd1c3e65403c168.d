@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_kernel_breakdown-4cd1c3e65403c168.d: crates/bench/src/bin/table1_kernel_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_kernel_breakdown-4cd1c3e65403c168.rmeta: crates/bench/src/bin/table1_kernel_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/table1_kernel_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_kernel_breakdown-dbe1f2709ad08f2c.d: crates/bench/src/bin/table1_kernel_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_kernel_breakdown-dbe1f2709ad08f2c.rmeta: crates/bench/src/bin/table1_kernel_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/table1_kernel_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_locality-6c2ef87c41705c3a.d: crates/bench/src/bin/table2_locality.rs
+
+/root/repo/target/debug/deps/table2_locality-6c2ef87c41705c3a: crates/bench/src/bin/table2_locality.rs
+
+crates/bench/src/bin/table2_locality.rs:

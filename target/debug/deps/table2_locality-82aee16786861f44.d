@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_locality-82aee16786861f44.d: crates/bench/src/bin/table2_locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_locality-82aee16786861f44.rmeta: crates/bench/src/bin/table2_locality.rs Cargo.toml
+
+crates/bench/src/bin/table2_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

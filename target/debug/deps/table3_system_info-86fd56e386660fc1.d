@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_system_info-86fd56e386660fc1.d: crates/bench/src/bin/table3_system_info.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_system_info-86fd56e386660fc1.rmeta: crates/bench/src/bin/table3_system_info.rs Cargo.toml
+
+crates/bench/src/bin/table3_system_info.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_system_info-9307db92e0f1fe11.d: crates/bench/src/bin/table3_system_info.rs
+
+/root/repo/target/debug/deps/table3_system_info-9307db92e0f1fe11: crates/bench/src/bin/table3_system_info.rs
+
+crates/bench/src/bin/table3_system_info.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fastened_plate-758460bda253b648.d: examples/fastened_plate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfastened_plate-758460bda253b648.rmeta: examples/fastened_plate.rs Cargo.toml
+
+examples/fastened_plate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

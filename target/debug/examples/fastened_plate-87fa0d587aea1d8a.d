@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fastened_plate-87fa0d587aea1d8a.d: examples/fastened_plate.rs
+
+/root/repo/target/debug/examples/fastened_plate-87fa0d587aea1d8a: examples/fastened_plate.rs
+
+examples/fastened_plate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flexible_sheet-62b9d242e1bdde0d.d: examples/flexible_sheet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflexible_sheet-62b9d242e1bdde0d.rmeta: examples/flexible_sheet.rs Cargo.toml
+
+examples/flexible_sheet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flexible_sheet-f515ac6780bc95d9.d: examples/flexible_sheet.rs
+
+/root/repo/target/debug/examples/flexible_sheet-f515ac6780bc95d9: examples/flexible_sheet.rs
+
+examples/flexible_sheet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe-57412e1c5c847fa0.d: crates/cachesim/examples/probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe-57412e1c5c847fa0.rmeta: crates/cachesim/examples/probe.rs Cargo.toml
+
+crates/cachesim/examples/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

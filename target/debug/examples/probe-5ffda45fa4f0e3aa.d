@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-5ffda45fa4f0e3aa.d: crates/cachesim/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-5ffda45fa4f0e3aa: crates/cachesim/examples/probe.rs
+
+crates/cachesim/examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c6ed464a09ecfe3c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c6ed464a09ecfe3c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/taylor_green-3f45bcb65a38e722.d: examples/taylor_green.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtaylor_green-3f45bcb65a38e722.rmeta: examples/taylor_green.rs Cargo.toml
+
+examples/taylor_green.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

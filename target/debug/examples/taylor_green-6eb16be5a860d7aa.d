@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taylor_green-6eb16be5a860d7aa.d: examples/taylor_green.rs
+
+/root/repo/target/debug/examples/taylor_green-6eb16be5a860d7aa: examples/taylor_green.rs
+
+examples/taylor_green.rs:

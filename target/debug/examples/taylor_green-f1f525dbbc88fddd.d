@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/taylor_green-f1f525dbbc88fddd.d: examples/taylor_green.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtaylor_green-f1f525dbbc88fddd.rmeta: examples/taylor_green.rs Cargo.toml
+
+examples/taylor_green.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

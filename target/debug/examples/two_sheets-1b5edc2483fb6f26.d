@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/two_sheets-1b5edc2483fb6f26.d: examples/two_sheets.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwo_sheets-1b5edc2483fb6f26.rmeta: examples/two_sheets.rs Cargo.toml
+
+examples/two_sheets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

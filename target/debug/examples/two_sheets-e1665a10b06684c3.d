@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/two_sheets-e1665a10b06684c3.d: examples/two_sheets.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwo_sheets-e1665a10b06684c3.rmeta: examples/two_sheets.rs Cargo.toml
+
+examples/two_sheets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_sheets-e22f7cfbc120890d.d: examples/two_sheets.rs
+
+/root/repo/target/debug/examples/two_sheets-e22f7cfbc120890d: examples/two_sheets.rs
+
+examples/two_sheets.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cachesim-91c3d2283e6f52f9.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/release/deps/libcachesim-91c3d2283e6f52f9.rlib: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/release/deps/libcachesim-91c3d2283e6f52f9.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/trace.rs:

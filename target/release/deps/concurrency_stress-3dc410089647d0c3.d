@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency_stress-3dc410089647d0c3.d: crates/core/tests/concurrency_stress.rs
+
+/root/repo/target/release/deps/concurrency_stress-3dc410089647d0c3: crates/core/tests/concurrency_stress.rs
+
+crates/core/tests/concurrency_stress.rs:

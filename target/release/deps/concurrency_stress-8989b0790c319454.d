@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency_stress-8989b0790c319454.d: crates/core/tests/concurrency_stress.rs
+
+/root/repo/target/release/deps/concurrency_stress-8989b0790c319454: crates/core/tests/concurrency_stress.rs
+
+crates/core/tests/concurrency_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism_and_failure-d3bfbf3c448558c2.d: tests/determinism_and_failure.rs
+
+/root/repo/target/release/deps/determinism_and_failure-d3bfbf3c448558c2: tests/determinism_and_failure.rs
+
+tests/determinism_and_failure.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ib-41e0cc9c68ec6567.d: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+/root/repo/target/release/deps/libib-41e0cc9c68ec6567.rlib: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+/root/repo/target/release/deps/libib-41e0cc9c68ec6567.rmeta: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+crates/ib/src/lib.rs:
+crates/ib/src/delta.rs:
+crates/ib/src/forces.rs:
+crates/ib/src/interp.rs:
+crates/ib/src/sheet.rs:
+crates/ib/src/spread.rs:
+crates/ib/src/tether.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ib-a1aa162afd361622.d: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+/root/repo/target/release/deps/libib-a1aa162afd361622.rlib: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+/root/repo/target/release/deps/libib-a1aa162afd361622.rmeta: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+crates/ib/src/lib.rs:
+crates/ib/src/delta.rs:
+crates/ib/src/forces.rs:
+crates/ib/src/interp.rs:
+crates/ib/src/sheet.rs:
+crates/ib/src/spread.rs:
+crates/ib/src/tether.rs:

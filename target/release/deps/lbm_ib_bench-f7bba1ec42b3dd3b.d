@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lbm_ib_bench-f7bba1ec42b3dd3b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblbm_ib_bench-f7bba1ec42b3dd3b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblbm_ib_bench-f7bba1ec42b3dd3b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

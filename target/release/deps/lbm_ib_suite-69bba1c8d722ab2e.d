@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lbm_ib_suite-69bba1c8d722ab2e.d: src/lib.rs
+
+/root/repo/target/release/deps/liblbm_ib_suite-69bba1c8d722ab2e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblbm_ib_suite-69bba1c8d722ab2e.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

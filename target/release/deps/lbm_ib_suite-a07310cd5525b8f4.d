@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lbm_ib_suite-a07310cd5525b8f4.d: src/lib.rs
+
+/root/repo/target/release/deps/lbm_ib_suite-a07310cd5525b8f4: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

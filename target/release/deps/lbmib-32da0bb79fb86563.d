@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lbmib-32da0bb79fb86563.d: src/bin/lbmib.rs
+
+/root/repo/target/release/deps/lbmib-32da0bb79fb86563: src/bin/lbmib.rs
+
+src/bin/lbmib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lbmib-7c752ba9ddae40c7.d: src/bin/lbmib.rs
+
+/root/repo/target/release/deps/lbmib-7c752ba9ddae40c7: src/bin/lbmib.rs
+
+src/bin/lbmib.rs:

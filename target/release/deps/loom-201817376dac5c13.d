@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/loom-201817376dac5c13.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/release/deps/libloom-201817376dac5c13.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/release/deps/libloom-201817376dac5c13.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/loom-9dcaf082dd9780cb.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/release/deps/loom-9dcaf082dd9780cb: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom-a415c52178ed3202.d: crates/core/tests/loom.rs
+
+/root/repo/target/release/deps/loom-a415c52178ed3202: crates/core/tests/loom.rs
+
+crates/core/tests/loom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom-b05bc0682d99b955.d: crates/core/tests/loom.rs
+
+/root/repo/target/release/deps/loom-b05bc0682d99b955: crates/core/tests/loom.rs
+
+crates/core/tests/loom.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/loom-dcee962f4b7ad312.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/release/deps/libloom-dcee962f4b7ad312.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/release/deps/libloom-dcee962f4b7ad312.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/moving_wall-55d565238b8e93ab.d: tests/moving_wall.rs
+
+/root/repo/target/release/deps/moving_wall-55d565238b8e93ab: tests/moving_wall.rs
+
+tests/moving_wall.rs:

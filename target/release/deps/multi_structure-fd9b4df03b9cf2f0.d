@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_structure-fd9b4df03b9cf2f0.d: tests/multi_structure.rs
+
+/root/repo/target/release/deps/multi_structure-fd9b4df03b9cf2f0: tests/multi_structure.rs
+
+tests/multi_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/physics_validation-28536c213d1ec119.d: tests/physics_validation.rs
+
+/root/repo/target/release/deps/physics_validation-28536c213d1ec119: tests/physics_validation.rs
+
+tests/physics_validation.rs:

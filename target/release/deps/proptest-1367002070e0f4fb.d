@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1367002070e0f4fb.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1367002070e0f4fb.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1367002070e0f4fb.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

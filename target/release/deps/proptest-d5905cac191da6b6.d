@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d5905cac191da6b6.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d5905cac191da6b6.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d5905cac191da6b6.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/racecheck-5d5d25688d4bf69a.d: crates/core/tests/racecheck.rs
+
+/root/repo/target/release/deps/racecheck-5d5d25688d4bf69a: crates/core/tests/racecheck.rs
+
+crates/core/tests/racecheck.rs:

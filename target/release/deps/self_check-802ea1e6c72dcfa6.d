@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/self_check-802ea1e6c72dcfa6.d: crates/loom/tests/self_check.rs
+
+/root/repo/target/release/deps/self_check-802ea1e6c72dcfa6: crates/loom/tests/self_check.rs
+
+crates/loom/tests/self_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_equivalence-60cbf9097d5bb790.d: tests/solver_equivalence.rs
+
+/root/repo/target/release/deps/solver_equivalence-60cbf9097d5bb790: tests/solver_equivalence.rs
+
+tests/solver_equivalence.rs:

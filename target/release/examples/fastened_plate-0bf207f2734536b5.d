@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fastened_plate-0bf207f2734536b5.d: examples/fastened_plate.rs
+
+/root/repo/target/release/examples/fastened_plate-0bf207f2734536b5: examples/fastened_plate.rs
+
+examples/fastened_plate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flexible_sheet-65a886c171533e0b.d: examples/flexible_sheet.rs
+
+/root/repo/target/release/examples/flexible_sheet-65a886c171533e0b: examples/flexible_sheet.rs
+
+examples/flexible_sheet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7fe7e101983a4b69.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7fe7e101983a4b69: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/taylor_green-acf4ee60a6567173.d: examples/taylor_green.rs
+
+/root/repo/target/release/examples/taylor_green-acf4ee60a6567173: examples/taylor_green.rs
+
+examples/taylor_green.rs:

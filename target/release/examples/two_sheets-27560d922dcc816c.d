@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/two_sheets-27560d922dcc816c.d: examples/two_sheets.rs
+
+/root/repo/target/release/examples/two_sheets-27560d922dcc816c: examples/two_sheets.rs
+
+examples/two_sheets.rs:

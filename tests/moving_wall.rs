@@ -12,7 +12,10 @@ fn couette_config(u_lid: f64) -> SimulationConfig {
     c.body_force = [0.0; 3];
     c.bc = BoundaryConfig {
         x: AxisBoundary::Periodic,
-        y: AxisBoundary::Walls { lo: [0.0; 3], hi: [u_lid, 0.0, 0.0] },
+        y: AxisBoundary::Walls {
+            lo: [0.0; 3],
+            hi: [u_lid, 0.0, 0.0],
+        },
         z: AxisBoundary::Periodic,
     };
     // A soft small sheet near the lower wall.

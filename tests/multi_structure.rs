@@ -53,9 +53,19 @@ impl HandRolled {
             spread::spread_forces(sheet, self.delta, dims, &self.bc, &mut self.fluid);
         }
         for node in 0..self.fluid.n() {
-            let ueq = [self.fluid.ueqx[node], self.fluid.ueqy[node], self.fluid.ueqz[node]];
+            let ueq = [
+                self.fluid.ueqx[node],
+                self.fluid.ueqy[node],
+                self.fluid.ueqz[node],
+            ];
             let rho = self.fluid.rho[node];
-            bgk_collide_node(&mut self.fluid.f[node * Q..node * Q + Q], rho, ueq, [0.0; 3], self.tau);
+            bgk_collide_node(
+                &mut self.fluid.f[node * Q..node * Q + Q],
+                rho,
+                ueq,
+                [0.0; 3],
+                self.tau,
+            );
         }
         stream_push_bounded(&mut self.fluid, &self.bc);
         update_velocity_shifted(&mut self.fluid, self.tau);
@@ -73,7 +83,12 @@ fn hand_rolled_loop_matches_sequential_solver() {
     let config = SimulationConfig::quick_test();
     let mut solver = SequentialSolver::new(config);
     let (sheet, tethers) = config.sheet.build();
-    let mut hand = HandRolled::new(config.dims(), vec![(sheet, tethers)], config.tau, config.body_force);
+    let mut hand = HandRolled::new(
+        config.dims(),
+        vec![(sheet, tethers)],
+        config.tau,
+        config.body_force,
+    );
 
     for _ in 0..12 {
         solver.step();
@@ -87,7 +102,10 @@ fn hand_rolled_loop_matches_sequential_solver() {
         .zip(&hand.fluid.f)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    assert!(max_f < 1e-14, "hand-rolled loop diverged from the solver: {max_f}");
+    assert!(
+        max_f < 1e-14,
+        "hand-rolled loop diverged from the solver: {max_f}"
+    );
     for (a, b) in solver.state.sheet.pos.iter().zip(&hand.bodies[0].0.pos) {
         for c in 0..3 {
             assert!((a[c] - b[c]).abs() < 1e-14);
@@ -101,7 +119,12 @@ fn two_structures_conserve_mass_and_stay_finite() {
     let a = FiberSheet::paper_sheet(8, 4.0, [10.0, 8.0, 8.0], 2e-4, 3e-2);
     let ta = TetherSet::center_region(&a, 1.5, 0.1);
     let b = FiberSheet::paper_sheet(6, 3.0, [20.0, 8.0, 8.0], 3e-4, 3e-2);
-    let mut sim = HandRolled::new(dims, vec![(a, ta), (b, TetherSet::none())], 0.8, [5e-6, 0.0, 0.0]);
+    let mut sim = HandRolled::new(
+        dims,
+        vec![(a, ta), (b, TetherSet::none())],
+        0.8,
+        [5e-6, 0.0, 0.0],
+    );
     let m0 = sim.fluid.total_mass();
     for _ in 0..80 {
         sim.step();
@@ -132,7 +155,8 @@ fn upstream_body_shadows_downstream_body() {
 
     let plate = FiberSheet::paper_sheet(12, 9.0, [10.0, 8.0, 8.0], 1e-3, 5e-2);
     let tp = TetherSet::center_region(&plate, 100.0, 0.3); // rigidly held
-    let mut shadowed = HandRolled::new(dims, vec![(plate, tp), (free(), TetherSet::none())], 0.8, g);
+    let mut shadowed =
+        HandRolled::new(dims, vec![(plate, tp), (free(), TetherSet::none())], 0.8, g);
     for _ in 0..150 {
         shadowed.step();
     }

@@ -65,12 +65,19 @@ fn coupled_solver_reaches_poiseuille_without_structure_influence() {
     // The z walls also drag, so compare only the mid-z column profile
     // against the y-parabola with a loose tolerance (the exact solution in
     // a square duct is a double series; the parabola bounds the shape).
-    let profile = Poiseuille { ny: cfg.ny, g, nu: relax.viscosity() };
+    let profile = Poiseuille {
+        ny: cfg.ny,
+        g,
+        nu: relax.viscosity(),
+    };
     let dims = cfg.dims();
     let mid_z = cfg.nz / 2;
     let mid_y = cfg.ny / 2;
     let center = s.state.fluid.ux[dims.idx(8, mid_y, mid_z)];
-    assert!(center > 0.5 * profile.u_max(), "duct centre too slow: {center}");
+    assert!(
+        center > 0.5 * profile.u_max(),
+        "duct centre too slow: {center}"
+    );
     // Monotone decrease from the centre row toward the wall.
     let mut prev = center;
     for y in (0..mid_y).rev() {
@@ -102,7 +109,10 @@ fn stiff_sheet_obstructs_the_flow() {
         k_bend: 1e-3,
         k_stretch: 5e-2,
         // Hold the sheet in place so it acts as an obstacle.
-        tether: TetherConfig::CenterRegion { radius: 100.0, stiffness: 0.3 },
+        tether: TetherConfig::CenterRegion {
+            radius: 100.0,
+            stiffness: 0.3,
+        },
         ..SheetConfig::square(12, 10.0, [8.0, 8.0, 8.0])
     };
     let mut blocked = SequentialSolver::new(blocked_cfg);
@@ -177,7 +187,10 @@ fn table1_scale_config_runs_stably() {
     cfg.ny = 16;
     cfg.nz = 16;
     cfg.sheet = SheetConfig {
-        tether: TetherConfig::CenterRegion { radius: 2.0, stiffness: 5e-2 },
+        tether: TetherConfig::CenterRegion {
+            radius: 2.0,
+            stiffness: 5e-2,
+        },
         ..SheetConfig::square(13, 5.0, [8.0, 8.0, 8.0])
     };
     cfg.validate().unwrap();

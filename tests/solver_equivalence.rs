@@ -57,7 +57,10 @@ fn agreement_across_cube_edges() {
 #[test]
 fn agreement_with_tethered_sheet() {
     let mut cfg = base_config();
-    cfg.sheet.tether = TetherConfig::CenterRegion { radius: 2.5, stiffness: 0.1 };
+    cfg.sheet.tether = TetherConfig::CenterRegion {
+        radius: 2.5,
+        stiffness: 0.1,
+    };
     let (omp, cube) = verify_all_solvers(cfg, 12, 3);
     assert!(omp.within(1e-11), "OpenMP: {omp:?}");
     assert!(cube.within(1e-11), "cube: {cube:?}");
