@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cachesim-71382f8ae64be4b5.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/debug/deps/libcachesim-71382f8ae64be4b5.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/trace.rs:

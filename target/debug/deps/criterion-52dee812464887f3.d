@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-52dee812464887f3.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-52dee812464887f3.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

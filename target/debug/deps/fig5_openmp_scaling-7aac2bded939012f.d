@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_openmp_scaling-7aac2bded939012f.d: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+/root/repo/target/debug/deps/libfig5_openmp_scaling-7aac2bded939012f.rmeta: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+crates/bench/src/bin/fig5_openmp_scaling.rs:

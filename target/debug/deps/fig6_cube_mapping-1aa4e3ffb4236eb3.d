@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_cube_mapping-1aa4e3ffb4236eb3.d: crates/bench/src/bin/fig6_cube_mapping.rs
+
+/root/repo/target/debug/deps/libfig6_cube_mapping-1aa4e3ffb4236eb3.rmeta: crates/bench/src/bin/fig6_cube_mapping.rs
+
+crates/bench/src/bin/fig6_cube_mapping.rs:

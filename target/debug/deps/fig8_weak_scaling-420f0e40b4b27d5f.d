@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_weak_scaling-420f0e40b4b27d5f.d: crates/bench/src/bin/fig8_weak_scaling.rs
+
+/root/repo/target/debug/deps/libfig8_weak_scaling-420f0e40b4b27d5f.rmeta: crates/bench/src/bin/fig8_weak_scaling.rs
+
+crates/bench/src/bin/fig8_weak_scaling.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ib-efdb50a16ed3eb94.d: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+/root/repo/target/debug/deps/libib-efdb50a16ed3eb94.rmeta: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+crates/ib/src/lib.rs:
+crates/ib/src/delta.rs:
+crates/ib/src/forces.rs:
+crates/ib/src/interp.rs:
+crates/ib/src/sheet.rs:
+crates/ib/src/spread.rs:
+crates/ib/src/tether.rs:

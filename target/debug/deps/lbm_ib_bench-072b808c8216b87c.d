@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbm_ib_bench-072b808c8216b87c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblbm_ib_bench-072b808c8216b87c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

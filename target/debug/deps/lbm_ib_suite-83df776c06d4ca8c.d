@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lbm_ib_suite-83df776c06d4ca8c.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblbm_ib_suite-83df776c06d4ca8c.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbmib-47cd44a0c8079c82.d: src/bin/lbmib.rs
+
+/root/repo/target/debug/deps/liblbmib-47cd44a0c8079c82.rmeta: src/bin/lbmib.rs
+
+src/bin/lbmib.rs:

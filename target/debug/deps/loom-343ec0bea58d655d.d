@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-343ec0bea58d655d.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-343ec0bea58d655d.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

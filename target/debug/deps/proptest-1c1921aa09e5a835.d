@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1c1921aa09e5a835.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1c1921aa09e5a835.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_kernel_breakdown-71ca8a0b17c71ff6.d: crates/bench/src/bin/table1_kernel_breakdown.rs
+
+/root/repo/target/debug/deps/libtable1_kernel_breakdown-71ca8a0b17c71ff6.rmeta: crates/bench/src/bin/table1_kernel_breakdown.rs
+
+crates/bench/src/bin/table1_kernel_breakdown.rs:

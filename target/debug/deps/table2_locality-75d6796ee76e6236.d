@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_locality-75d6796ee76e6236.d: crates/bench/src/bin/table2_locality.rs
+
+/root/repo/target/debug/deps/libtable2_locality-75d6796ee76e6236.rmeta: crates/bench/src/bin/table2_locality.rs
+
+crates/bench/src/bin/table2_locality.rs:

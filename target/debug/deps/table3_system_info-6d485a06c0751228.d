@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_system_info-6d485a06c0751228.d: crates/bench/src/bin/table3_system_info.rs
+
+/root/repo/target/debug/deps/libtable3_system_info-6d485a06c0751228.rmeta: crates/bench/src/bin/table3_system_info.rs
+
+crates/bench/src/bin/table3_system_info.rs:
