@@ -1,0 +1,88 @@
+//! Split collide+stream pair vs the fused single-sweep kernel, per sweep
+//! and per full time step, on the warmed quick_test and 32³ states. The
+//! `fused_vs_split` bin distills the same comparison into
+//! `BENCH_fused.json`; this group keeps the criterion-side history.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use lbm_ib::config::KernelPlan;
+use lbm_ib::kernels;
+use lbm_ib::{SequentialSolver, SimState, SimulationConfig};
+
+fn warmed(config: SimulationConfig) -> SimState {
+    let mut s = SequentialSolver::new(config);
+    s.run(3);
+    s.state
+}
+
+fn bench_32() -> SimulationConfig {
+    let mut c = SimulationConfig::quick_test();
+    c.nx = 32;
+    c.ny = 32;
+    c.nz = 32;
+    c.sheet = lbm_ib::SheetConfig::square(16, 8.0, [12.0, 16.0, 16.0]);
+    c
+}
+
+fn sweep_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_split/sweep");
+    group.sample_size(20);
+    for (name, config) in [
+        ("quick_test", SimulationConfig::quick_test()),
+        ("32cubed", bench_32()),
+    ] {
+        group.bench_function(format!("split/{name}"), |b| {
+            b.iter_batched(
+                || warmed(config),
+                |mut s| {
+                    kernels::compute_fluid_collision(&mut s);
+                    kernels::stream_fluid_velocity_distribution(&mut s);
+                    s
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("fused/{name}"), |b| {
+            b.iter_batched(
+                || warmed(config),
+                |mut s| {
+                    kernels::fused_collide_stream(&mut s);
+                    s
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn full_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_split/full_step");
+    group.sample_size(10);
+    for plan in [KernelPlan::Split, KernelPlan::Fused] {
+        let label = match plan {
+            KernelPlan::Split => "split",
+            KernelPlan::Fused => "fused",
+        };
+        group.bench_function(format!("seq/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut config = bench_32();
+                    config.plan = plan;
+                    let mut s = SequentialSolver::new(config);
+                    s.run(3);
+                    s
+                },
+                |mut s| {
+                    s.run(1);
+                    s
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_pair, full_step);
+criterion_main!(benches);

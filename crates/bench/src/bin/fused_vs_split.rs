@@ -1,0 +1,197 @@
+//! Measures the fused collide–stream sweep against the split kernel 5 +
+//! kernel 6 pair and records the numbers in `BENCH_fused.json`:
+//!
+//! * **sweep pair** — wall time of one collision+streaming pass (split) vs
+//!   one fused pass over a warmed state, single-threaded, median of
+//!   `--reps` repetitions on the quick_test and 32³ grids;
+//! * **full step** — one whole 9-kernel time step of the sequential solver
+//!   under each [`KernelPlan`];
+//! * **cachesim probe** — the `cachesim` hierarchy replaying the flat
+//!   split vs fused address traces, showing the distribution-array
+//!   traffic the fusion removes (no post-collision write-back of `f`, no
+//!   re-read by streaming).
+//!
+//! Usage: `fused_vs_split [--reps N] [--steps N] [--out PATH]`
+
+use cachesim::trace::{simulate_flat, simulate_flat_fused};
+use lbm_ib::config::KernelPlan;
+use lbm_ib::kernels;
+use lbm_ib::{SequentialSolver, SheetConfig, SimState, SimulationConfig};
+use lbm_ib_bench::Args;
+
+fn warmed(config: SimulationConfig) -> SimState {
+    let mut s = SequentialSolver::new(config);
+    s.run(3);
+    s.state
+}
+
+fn grid_32() -> SimulationConfig {
+    let mut c = SimulationConfig::quick_test();
+    c.nx = 32;
+    c.ny = 32;
+    c.nz = 32;
+    c.sheet = SheetConfig::square(16, 8.0, [12.0, 16.0, 16.0]);
+    c
+}
+
+/// Median wall time in seconds of `reps` runs of `f`, each on a fresh
+/// clone of `state`.
+fn median_secs(state: &SimState, reps: usize, mut f: impl FnMut(&mut SimState)) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut s = state.clone();
+            let t0 = std::time::Instant::now();
+            f(&mut s);
+            std::hint::black_box(&s.fluid.f_new);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+struct SweepResult {
+    grid: &'static str,
+    dims: [usize; 3],
+    split_s: f64,
+    fused_s: f64,
+    step_split_s: f64,
+    step_fused_s: f64,
+}
+
+fn measure_sweeps(name: &'static str, config: SimulationConfig, reps: usize) -> SweepResult {
+    let state = warmed(config);
+    let split_s = median_secs(&state, reps, |s| {
+        kernels::compute_fluid_collision(s);
+        kernels::stream_fluid_velocity_distribution(s);
+    });
+    let fused_s = median_secs(&state, reps, kernels::fused_collide_stream);
+
+    let full = |plan: KernelPlan| {
+        let mut cfg = config;
+        cfg.plan = plan;
+        let mut solver = SequentialSolver::new(cfg);
+        solver.run(3); // warm-up
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| solver.run(1).wall.as_secs_f64())
+            .collect();
+        times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times[times.len() / 2]
+    };
+
+    SweepResult {
+        grid: name,
+        dims: [config.nx, config.ny, config.nz],
+        split_s,
+        fused_s,
+        step_split_s: full(KernelPlan::Split),
+        step_fused_s: full(KernelPlan::Fused),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get_or("reps", 31);
+    let cache_steps: usize = args.get_or("steps", 2);
+    let out: String = args.get_or("out", "BENCH_fused.json".to_string());
+
+    println!("fused vs split collide–stream, single thread, {reps} reps (median)");
+    println!("{}", lbm_ib_bench::rule(72));
+
+    let results = [
+        measure_sweeps("quick_test", SimulationConfig::quick_test(), reps),
+        measure_sweeps("32cubed", grid_32(), reps),
+    ];
+    for r in &results {
+        println!(
+            "{:<12} sweep: split {:>9.1}us fused {:>9.1}us  speedup {:.2}x",
+            r.grid,
+            r.split_s * 1e6,
+            r.fused_s * 1e6,
+            r.split_s / r.fused_s
+        );
+        println!(
+            "{:<12} step : split {:>9.1}us fused {:>9.1}us  speedup {:.2}x",
+            "",
+            r.step_split_s * 1e6,
+            r.step_fused_s * 1e6,
+            r.step_split_s / r.step_fused_s
+        );
+    }
+
+    // Cache probe: whole-grid single-thread trace on the 32³ grid.
+    let dims = grid_32().dims();
+    let split_miss = simulate_flat(dims, 0..dims.nx, 1, cache_steps);
+    let fused_miss = simulate_flat_fused(dims, 0..dims.nx, 1, cache_steps);
+    println!("{}", lbm_ib_bench::rule(72));
+    println!(
+        "cachesim 32cubed x{cache_steps} steps: split {} accesses / {} L1 misses / {} L2 misses",
+        split_miss.accesses, split_miss.l1_misses, split_miss.l2_misses
+    );
+    println!(
+        "cachesim 32cubed x{cache_steps} steps: fused {} accesses / {} L1 misses / {} L2 misses",
+        fused_miss.accesses, fused_miss.l1_misses, fused_miss.l2_misses
+    );
+    println!(
+        "distribution-array traffic cut: {:.1}% of split accesses removed",
+        100.0 * (1.0 - fused_miss.accesses as f64 / split_miss.accesses as f64)
+    );
+
+    // Hand-rolled JSON (the workspace is offline: no serde).
+    let sweep_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"grid\": \"{}\", \"dims\": [{}, {}, {}], ",
+                    "\"split_sweep_s\": {:e}, \"fused_sweep_s\": {:e}, ",
+                    "\"sweep_speedup\": {:.4}, ",
+                    "\"split_step_s\": {:e}, \"fused_step_s\": {:e}, ",
+                    "\"step_speedup\": {:.4}}}"
+                ),
+                r.grid,
+                r.dims[0],
+                r.dims[1],
+                r.dims[2],
+                r.split_s,
+                r.fused_s,
+                r.split_s / r.fused_s,
+                r.step_split_s,
+                r.step_fused_s,
+                r.step_split_s / r.step_fused_s,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"fused_vs_split\",\n",
+            "  \"threads\": 1,\n",
+            "  \"reps\": {},\n",
+            "  \"sweeps\": [\n{}\n  ],\n",
+            "  \"cachesim\": {{\n",
+            "    \"dims\": [{}, {}, {}],\n",
+            "    \"steps\": {},\n",
+            "    \"split\": {{\"accesses\": {}, \"l1_misses\": {}, \"l2_misses\": {}}},\n",
+            "    \"fused\": {{\"accesses\": {}, \"l1_misses\": {}, \"l2_misses\": {}}},\n",
+            "    \"access_reduction_percent\": {:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        reps,
+        sweep_json.join(",\n"),
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        cache_steps,
+        split_miss.accesses,
+        split_miss.l1_misses,
+        split_miss.l2_misses,
+        fused_miss.accesses,
+        fused_miss.l1_misses,
+        fused_miss.l2_misses,
+        100.0 * (1.0 - fused_miss.accesses as f64 / split_miss.accesses as f64),
+    );
+    std::fs::write(&out, json).expect("write json");
+    println!("wrote {out}");
+}

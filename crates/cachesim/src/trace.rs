@@ -114,6 +114,37 @@ fn emit_stream(
     }
 }
 
+/// Emits the fused collide–stream accesses for one node (kernels 5+6 in a
+/// single sweep): macroscopic reads, one read of each population (the BGK
+/// relaxation happens in registers), and the streamed write into the
+/// neighbour's `f_new` slot. Relative to [`emit_collision`] +
+/// [`emit_stream`], the `Q` post-collision write-backs into `f` and the
+/// `Q` re-reads of `f` disappear — the distribution arrays are touched
+/// twice per node instead of four times.
+#[inline]
+fn emit_fused(
+    map: &MemoryMap,
+    dims: Dims,
+    node_of: &impl Fn(usize, usize, usize) -> usize,
+    x: usize,
+    y: usize,
+    z: usize,
+    node: usize,
+    emit: &mut impl FnMut(u64),
+) {
+    emit(map.rho(node));
+    for a in 0..3 {
+        emit(map.ueq(a, node));
+    }
+    emit(map.f(node, 0));
+    emit(map.f_new(node, 0));
+    for (i, e) in E.iter().enumerate().skip(1) {
+        emit(map.f(node, i));
+        let (xn, yn, zn) = dims.wrap(x, y, z, e[0], e[1], e[2]);
+        emit(map.f_new(node_of(xn, yn, zn), i));
+    }
+}
+
 /// Emits the velocity-update accesses for one node (kernel 7).
 #[inline]
 fn emit_update(map: &MemoryMap, node: usize, emit: &mut impl FnMut(u64)) {
@@ -158,6 +189,43 @@ pub fn flat_step_trace(dims: Dims, x_range: std::ops::Range<usize>, mut emit: im
             for z in 0..dims.nz {
                 let node = dims.idx(x, y, z);
                 emit_stream(&map, dims, &node_of, x, y, z, node, &mut emit);
+            }
+        }
+    }
+    // Kernel 7.
+    for x in x_range.clone() {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                emit_update(&map, dims.idx(x, y, z), &mut emit);
+            }
+        }
+    }
+    // Kernel 9.
+    for x in x_range {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                emit_copy(&map, dims.idx(x, y, z), &mut emit);
+            }
+        }
+    }
+}
+
+/// One time step of the flat layout under the fused kernel plan: kernels
+/// 5+6 collapse into one sweep (see [`emit_fused`]); kernels 7 and 9 are
+/// unchanged.
+pub fn flat_fused_step_trace(
+    dims: Dims,
+    x_range: std::ops::Range<usize>,
+    mut emit: impl FnMut(u64),
+) {
+    let map = MemoryMap::new(dims.n());
+    let node_of = |x: usize, y: usize, z: usize| dims.idx(x, y, z);
+    // Fused kernels 5+6.
+    for x in x_range.clone() {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let node = dims.idx(x, y, z);
+                emit_fused(&map, dims, &node_of, x, y, z, node, &mut emit);
             }
         }
     }
@@ -268,6 +336,28 @@ pub fn simulate_flat(
     }
 }
 
+/// Replays `steps` fused-plan flat-layout time steps through a fresh
+/// `thog` hierarchy and reports miss rates — the counterpart of
+/// [`simulate_flat`] for the fused collide–stream sweep.
+pub fn simulate_flat_fused(
+    dims: Dims,
+    x_range: std::ops::Range<usize>,
+    l2_sharers: usize,
+    steps: usize,
+) -> MissReport {
+    let mut h = Hierarchy::thog(l2_sharers);
+    for _ in 0..steps {
+        flat_fused_step_trace(dims, x_range.clone(), |a| h.access(a));
+    }
+    MissReport {
+        accesses: h.l1.accesses(),
+        l1_miss_percent: h.l1_miss_percent(),
+        l2_miss_percent: h.l2_miss_percent(),
+        l1_misses: h.l1.misses,
+        l2_misses: h.l2.misses,
+    }
+}
+
 /// Replays `steps` cube-layout time steps (one thread's cube set) through a
 /// fresh `thog` hierarchy and reports miss rates.
 pub fn simulate_cube(
@@ -312,6 +402,30 @@ mod tests {
         flat_step_trace(dims, 0..8, |_| count += 1);
         // Per node: collision 4+38, stream 38, update 29, copy 38 = 147.
         assert_eq!(count, 147 * 512);
+    }
+
+    #[test]
+    fn fused_trace_drops_the_writeback_and_reread() {
+        let dims = Dims::new(8, 8, 8);
+        let mut count = 0u64;
+        flat_fused_step_trace(dims, 0..8, |_| count += 1);
+        // Per node: fused 4+19+19, update 29, copy 38 = 109 — the split
+        // schedule's 147 minus the 19 f write-backs and 19 f re-reads.
+        assert_eq!(count, 109 * 512);
+    }
+
+    #[test]
+    fn fused_trace_reduces_distribution_array_traffic() {
+        let dims = Dims::new(16, 16, 16);
+        let split = simulate_flat(dims, 0..16, 1, 2);
+        let fused = simulate_flat_fused(dims, 0..16, 1, 2);
+        assert!(fused.accesses < split.accesses);
+        assert!(
+            fused.l1_misses <= split.l1_misses,
+            "fused must not add misses: {} vs {}",
+            fused.l1_misses,
+            split.l1_misses
+        );
     }
 
     #[test]

@@ -324,10 +324,13 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
             tether,
         },
         cube_k,
+        // The kernel plan is a runtime execution choice, not physics: a
+        // resumed run uses whatever plan the caller configures.
+        plan: crate::config::KernelPlan::Split,
     };
     config
         .validate()
-        .map_err(|e| CheckpointError::Format(e.0))?;
+        .map_err(|e| CheckpointError::Format(e.to_string()))?;
 
     let n = nx * ny * nz;
     let mut fluid = FluidGrid::new(lbm::grid::Dims::new(nx, ny, nz));

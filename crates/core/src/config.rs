@@ -101,15 +101,118 @@ pub struct SimulationConfig {
     pub sheet: SheetConfig,
     /// Cube edge for the cube-centric solver (must divide nx, ny, nz).
     pub cube_k: usize,
+    /// Which collide/stream schedule the solvers execute.
+    pub plan: KernelPlan,
+}
+
+/// Execution schedule for kernels 5 and 6. `Split` runs collision and
+/// streaming as two full-grid passes (the paper's Algorithm 1); `Fused`
+/// collides in registers and pushes straight into `f_new` in one sweep
+/// (see `lbm::fused`). Both produce bit-identical physics; `Fused` halves
+/// the distribution-array traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelPlan {
+    /// Separate collision and streaming passes (kernels 5 then 6).
+    #[default]
+    Split,
+    /// Single fused collide–stream sweep.
+    Fused,
 }
 
 /// A configuration problem found by [`SimulationConfig::validate`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ConfigError(pub String);
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `tau` must exceed 0.5 for a positive viscosity.
+    InvalidTau { tau: f64 },
+    /// One of the grid extents is zero.
+    ZeroExtent { nx: usize, ny: usize, nz: usize },
+    /// The cube edge is zero or does not divide every grid extent.
+    DimNotDivisibleByCube {
+        cube_k: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    },
+    /// The sheet has fewer than 2×2 fiber nodes.
+    EmptySheet {
+        num_fibers: usize,
+        nodes_per_fiber: usize,
+    },
+    /// The sheet (plus delta support) reaches into a wall.
+    SheetNearWall {
+        axis: usize,
+        lo: f64,
+        hi: f64,
+        margin: f64,
+    },
+    /// The sheet centre is nowhere near the fluid box.
+    SheetOutsideBox { axis: usize },
+    /// The driving force implies an unstable channel velocity.
+    UnstableBodyForce { g: f64, umax: f64 },
+    /// Several independent problems; `validate` reports all of them.
+    Multiple(Vec<ConfigError>),
+}
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid configuration: {}", self.0)
+        match self {
+            ConfigError::InvalidTau { tau } => {
+                write!(f, "invalid configuration: tau = {tau} must exceed 0.5")
+            }
+            ConfigError::ZeroExtent { nx, ny, nz } => write!(
+                f,
+                "invalid configuration: grid extents {nx}x{ny}x{nz} must be positive"
+            ),
+            ConfigError::DimNotDivisibleByCube {
+                cube_k,
+                nx,
+                ny,
+                nz,
+            } => write!(
+                f,
+                "invalid configuration: cube edge {cube_k} must divide grid {nx}x{ny}x{nz}"
+            ),
+            ConfigError::EmptySheet {
+                num_fibers,
+                nodes_per_fiber,
+            } => write!(
+                f,
+                "invalid configuration: sheet is {num_fibers}x{nodes_per_fiber}, needs at least 2x2 fiber nodes"
+            ),
+            ConfigError::SheetNearWall {
+                axis,
+                lo,
+                hi,
+                margin,
+            } => write!(
+                f,
+                "invalid configuration: sheet spans [{lo}, {hi}] on axis {axis}, too close to the walls (margin {margin})"
+            ),
+            ConfigError::SheetOutsideBox { axis } => write!(
+                f,
+                "invalid configuration: sheet wildly outside the box on axis {axis}"
+            ),
+            ConfigError::UnstableBodyForce { g, umax } => write!(
+                f,
+                "invalid configuration: body force {g} implies steady channel velocity {umax:.3} — unstable (reduce g or grid)"
+            ),
+            ConfigError::Multiple(errors) => {
+                write!(f, "invalid configuration: {} problems: ", errors.len())?;
+                for (k, e) in errors.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, "; ")?;
+                    }
+                    // Strip the common prefix for readability.
+                    let s = e.to_string();
+                    write!(
+                        f,
+                        "{}",
+                        s.strip_prefix("invalid configuration: ").unwrap_or(&s)
+                    )?;
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -126,27 +229,37 @@ impl SimulationConfig {
         Relaxation::new(self.tau)
     }
 
-    /// Checks physical and geometric sanity. Returns all problems found.
+    /// Checks physical and geometric sanity. Returns the single problem
+    /// found, or [`ConfigError::Multiple`] listing every problem.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let mut problems = Vec::new();
         if self.tau <= 0.5 {
-            problems.push(format!("tau = {} must exceed 0.5", self.tau));
+            problems.push(ConfigError::InvalidTau { tau: self.tau });
         }
         if self.nx == 0 || self.ny == 0 || self.nz == 0 {
-            problems.push("grid extents must be positive".to_string());
+            problems.push(ConfigError::ZeroExtent {
+                nx: self.nx,
+                ny: self.ny,
+                nz: self.nz,
+            });
         }
         if self.cube_k == 0
             || self.nx % self.cube_k != 0
             || self.ny % self.cube_k != 0
             || self.nz % self.cube_k != 0
         {
-            problems.push(format!(
-                "cube edge {} must divide grid {}x{}x{}",
-                self.cube_k, self.nx, self.ny, self.nz
-            ));
+            problems.push(ConfigError::DimNotDivisibleByCube {
+                cube_k: self.cube_k,
+                nx: self.nx,
+                ny: self.ny,
+                nz: self.nz,
+            });
         }
         if self.sheet.num_fibers < 2 || self.sheet.nodes_per_fiber < 2 {
-            problems.push("sheet needs at least 2x2 fiber nodes".to_string());
+            problems.push(ConfigError::EmptySheet {
+                num_fibers: self.sheet.num_fibers,
+                nodes_per_fiber: self.sheet.nodes_per_fiber,
+            });
         }
         // The sheet (plus the delta support) must fit inside the box; on
         // wall axes force would otherwise leak through the clipping.
@@ -162,28 +275,40 @@ impl SimulationConfig {
             let lo = self.sheet.center[a] - half[a];
             let hi = self.sheet.center[a] + half[a];
             if walls[a] && (lo < margin || hi > ext[a] - 1.0 - margin) {
-                problems.push(format!(
-                    "sheet spans [{lo}, {hi}] on axis {a}, too close to the walls (margin {margin})"
-                ));
+                problems.push(ConfigError::SheetNearWall {
+                    axis: a,
+                    lo,
+                    hi,
+                    margin,
+                });
             }
             if lo < -ext[a] || hi > 2.0 * ext[a] {
-                problems.push(format!("sheet wildly outside the box on axis {a}"));
+                problems.push(ConfigError::SheetOutsideBox { axis: a });
             }
         }
         // Crude velocity-scale check: a steady channel driven by g reaches
         // u_max = g ny² / (8 ν); keep it below ~0.1 c_s for stability.
-        let nu = (self.tau - 0.5) / 3.0;
-        let g = self.body_force.iter().map(|c| c.abs()).fold(0.0, f64::max);
-        let umax = g * (self.ny as f64) * (self.ny as f64) / (8.0 * nu);
-        if umax > 0.17 {
-            problems.push(format!(
-                "body force {g} implies steady channel velocity {umax:.3} — unstable (reduce g or grid)"
-            ));
+        // Meaningless when tau is already invalid (ν ≤ 0).
+        if self.tau > 0.5 {
+            let nu = (self.tau - 0.5) / 3.0;
+            let g = self.body_force.iter().map(|c| c.abs()).fold(0.0, f64::max);
+            let umax = g * (self.ny as f64) * (self.ny as f64) / (8.0 * nu);
+            if umax > 0.17 {
+                problems.push(ConfigError::UnstableBodyForce { g, umax });
+            }
         }
-        if problems.is_empty() {
-            Ok(())
-        } else {
-            Err(ConfigError(problems.join("; ")))
+        match problems.len() {
+            0 => Ok(()),
+            1 => Err(problems.pop().expect("len checked")),
+            _ => Err(ConfigError::Multiple(problems)),
+        }
+    }
+
+    /// Starts a [`ConfigBuilder`] seeded with the
+    /// [`SimulationConfig::quick_test`] defaults; `build()` validates.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Self::quick_test(),
         }
     }
 
@@ -203,6 +328,7 @@ impl SimulationConfig {
                 ..SheetConfig::square(8, 4.0, [8.0, 8.0, 8.0])
             },
             cube_k: 4,
+            plan: KernelPlan::Split,
         }
     }
 
@@ -225,6 +351,7 @@ impl SimulationConfig {
                 ..SheetConfig::square(52, 20.0, [30.0, 32.0, 32.0])
             },
             cube_k: 4,
+            plan: KernelPlan::Split,
         }
     }
 
@@ -263,6 +390,7 @@ impl SimulationConfig {
                 ],
             ),
             cube_k: 4,
+            plan: KernelPlan::Split,
         }
     }
 
@@ -280,6 +408,83 @@ impl SimulationConfig {
             [c.nx as f64 / 4.0, c.ny as f64 / 2.0, c.nz as f64 / 2.0],
         );
         c
+    }
+}
+
+/// Fluent construction of a [`SimulationConfig`] that defers every check
+/// to [`ConfigBuilder::build`], so callers get a `Result` instead of the
+/// panics the raw struct mutation style can run into later.
+///
+/// ```
+/// use lbm_ib::config::{KernelPlan, SimulationConfig};
+/// let config = SimulationConfig::builder()
+///     .dims(32, 16, 16)
+///     .tau(0.9)
+///     .plan(KernelPlan::Fused)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.nx, 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    config: SimulationConfig,
+}
+
+impl ConfigBuilder {
+    /// Sets all three grid extents.
+    pub fn dims(mut self, nx: usize, ny: usize, nz: usize) -> Self {
+        self.config.nx = nx;
+        self.config.ny = ny;
+        self.config.nz = nz;
+        self
+    }
+
+    /// Sets the BGK relaxation time.
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.config.tau = tau;
+        self
+    }
+
+    /// Sets the uniform driving force.
+    pub fn body_force(mut self, g: [f64; 3]) -> Self {
+        self.config.body_force = g;
+        self
+    }
+
+    /// Sets the boundary configuration.
+    pub fn bc(mut self, bc: BoundaryConfig) -> Self {
+        self.config.bc = bc;
+        self
+    }
+
+    /// Sets the delta kernel for the fluid–structure coupling.
+    pub fn delta(mut self, delta: DeltaKind) -> Self {
+        self.config.delta = delta;
+        self
+    }
+
+    /// Sets the immersed sheet.
+    pub fn sheet(mut self, sheet: SheetConfig) -> Self {
+        self.config.sheet = sheet;
+        self
+    }
+
+    /// Sets the cube edge for the cube-centric solver.
+    pub fn cube_k(mut self, k: usize) -> Self {
+        self.config.cube_k = k;
+        self
+    }
+
+    /// Sets the collide/stream schedule.
+    pub fn plan(mut self, plan: KernelPlan) -> Self {
+        self.config.plan = plan;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SimulationConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -337,7 +542,8 @@ mod tests {
         let mut c = SimulationConfig::quick_test();
         c.tau = 0.5;
         let err = c.validate().unwrap_err();
-        assert!(err.0.contains("tau"), "{err}");
+        assert_eq!(err, ConfigError::InvalidTau { tau: 0.5 });
+        assert!(err.to_string().contains("tau"), "{err}");
     }
 
     #[test]
@@ -359,7 +565,56 @@ mod tests {
         let mut c = SimulationConfig::quick_test();
         c.body_force = [1e-2, 0.0, 0.0];
         let err = c.validate().unwrap_err();
-        assert!(err.0.contains("unstable"), "{err}");
+        assert!(
+            matches!(err, ConfigError::UnstableBodyForce { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("unstable"), "{err}");
+    }
+
+    #[test]
+    fn indivisible_cube_is_typed() {
+        let mut c = SimulationConfig::quick_test();
+        c.cube_k = 5;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::DimNotDivisibleByCube { cube_k: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn multiple_problems_reported_together() {
+        let mut c = SimulationConfig::quick_test();
+        c.tau = 0.4;
+        c.cube_k = 7;
+        let err = c.validate().unwrap_err();
+        let ConfigError::Multiple(list) = &err else {
+            panic!("expected Multiple, got {err:?}");
+        };
+        assert_eq!(list.len(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("tau") && msg.contains("cube edge"), "{msg}");
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let config = SimulationConfig::builder()
+            .dims(32, 16, 16)
+            .tau(0.9)
+            .plan(KernelPlan::Fused)
+            .build()
+            .unwrap();
+        assert_eq!((config.nx, config.ny, config.nz), (32, 16, 16));
+        assert_eq!(config.plan, KernelPlan::Fused);
+
+        let err = SimulationConfig::builder().tau(0.3).build().unwrap_err();
+        assert_eq!(err, ConfigError::InvalidTau { tau: 0.3 });
+    }
+
+    #[test]
+    fn plan_defaults_to_split() {
+        assert_eq!(KernelPlan::default(), KernelPlan::Split);
+        assert_eq!(SimulationConfig::quick_test().plan, KernelPlan::Split);
     }
 
     #[test]

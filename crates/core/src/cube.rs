@@ -39,9 +39,10 @@ use lbm::macroscopic::node_moments_shifted;
 use std::sync::Mutex;
 
 use crate::barrier::{BarrierKind, PhaseBarrier};
-use crate::config::SimulationConfig;
+use crate::config::{KernelPlan, SimulationConfig};
 use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
 use crate::sharedgrid::{SharedCubeGrid, SharedSlice};
+use crate::solver::RunReport;
 use crate::state::SimState;
 
 /// Read-only fluid-velocity view for the interpolation of loop 4.
@@ -128,8 +129,6 @@ pub struct CubeSolver {
     pub step: u64,
     pub profile: KernelProfile,
     pub imbalance: ImbalanceTracker,
-    last_run_wall: Option<std::time::Duration>,
-    last_run_steps: u64,
 }
 
 impl CubeSolver {
@@ -164,8 +163,6 @@ impl CubeSolver {
             step: state.step,
             profile: KernelProfile::new(),
             imbalance: ImbalanceTracker::new(n_threads),
-            last_run_wall: None,
-            last_run_steps: 0,
         }
     }
 
@@ -196,10 +193,11 @@ impl CubeSolver {
         }
     }
 
-    /// Runs `n_steps` time steps with the full worker team (Algorithm 4).
-    pub fn run(&mut self, n_steps: u64) {
+    /// Runs `n_steps` time steps with the full worker team (Algorithm 4),
+    /// reporting steps and wall time.
+    pub fn run(&mut self, n_steps: u64) -> RunReport {
         if n_steps == 0 {
-            return;
+            return RunReport::default();
         }
         let n_threads = self.n_threads;
         let cdims = self.cdims;
@@ -254,7 +252,7 @@ impl CubeSolver {
         let barrier = PhaseBarrier::new(self.barrier_kind, n_threads);
 
         let t0 = Instant::now();
-        let busy_times: Vec<[f64; 9]> = std::thread::scope(|scope| {
+        let busy_times: Vec<[f64; KernelId::COUNT]> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_threads);
             for plan in plans {
                 let grid = &grid;
@@ -310,23 +308,10 @@ impl CubeSolver {
                 .record(k, std::time::Duration::from_secs_f64(max));
             self.imbalance.record_region(k, &busy);
         }
-        // Record wall time under a tenth slot? Keep it simple: expose via
-        // last_run_wall below.
-        self.last_run_wall = Some(wall);
-        self.last_run_steps = n_steps;
-    }
-}
-
-/// Extra run metadata (wall-clock of the last `run` call).
-impl CubeSolver {
-    /// Wall-clock duration of the most recent [`CubeSolver::run`].
-    pub fn last_run_wall(&self) -> Option<std::time::Duration> {
-        self.last_run_wall
-    }
-
-    /// Steps executed by the most recent [`CubeSolver::run`].
-    pub fn last_run_steps(&self) -> u64 {
-        self.last_run_steps
+        RunReport {
+            steps: n_steps,
+            wall,
+        }
     }
 }
 
@@ -348,8 +333,8 @@ fn worker(
     locks: &[Mutex<()>],
     barrier: &PhaseBarrier,
     owner: &[usize],
-) -> [f64; 9] {
-    let mut busy = [0.0f64; 9];
+) -> [f64; KernelId::COUNT] {
+    let mut busy = [0.0f64; KernelId::COUNT];
     #[cfg(feature = "racecheck")]
     crate::racecheck::set_thread(plan.tid);
     #[cfg(feature = "racecheck")]
@@ -478,65 +463,116 @@ fn worker(
         }
 
         // ─── Loop 2: collision + streaming on my cubes ───
-        for &cube in &plan.my_cubes {
-            // Kernel 5: collision within the cube.
+        if config.plan == KernelPlan::Fused {
+            // Fused kernels 5+6: collide each of my nodes in registers and
+            // push the result straight into f_new, one pass per cube.
             let t0 = Instant::now();
-            for local in 0..npc {
-                let flat = cdims.flat(cube, local);
-                // SAFETY: my cube's f / rho / ueq; sole toucher this phase.
-                unsafe {
-                    let mut fvals = [0.0f64; Q];
-                    for i in 0..Q {
-                        fvals[i] = grid.f.get(flat * Q + i);
-                    }
-                    let rho = grid.rho.get(flat);
-                    let ueq = [
-                        grid.ueqx.get(flat),
-                        grid.ueqy.get(flat),
-                        grid.ueqz.get(flat),
-                    ];
-                    bgk_collide_node(&mut fvals, rho, ueq, [0.0; 3], tau);
-                    for i in 0..Q {
-                        grid.f.set(flat * Q + i, fvals[i]);
-                    }
-                }
-            }
-            busy[4] += t0.elapsed().as_secs_f64();
-
-            // Kernel 6: push streaming out of the cube. Cross-cube writes
-            // are per-location exclusive: for a fixed direction the
-            // source→destination map is injective, and bounce-back targets
-            // (node, opposite) slots nothing else writes.
-            let t0 = Instant::now();
-            for local in 0..npc {
-                let flat = cdims.flat(cube, local);
-                let (x, y, z) = cdims.join(cube, local);
-                // SAFETY: reads of my own post-collision f; writes to
-                // unique f_new slots (argument above); no f_new reads until
-                // after barrier 1.
-                unsafe {
-                    grid.f_new.set(flat * Q, grid.f.get(flat * Q));
-                    for i in 1..Q {
-                        let v = grid.f.get(flat * Q + i);
-                        match router.route(x, y, z, i) {
-                            CoordRoute::Neighbor(d) => {
-                                let dflat = indexer.flat(d[0], d[1], d[2]);
-                                grid.f_new.set(dflat * Q + i, v);
-                            }
-                            CoordRoute::BounceBack {
-                                opposite,
-                                wall_velocity,
-                            } => {
-                                grid.f_new.set(
-                                    flat * Q + opposite,
-                                    v - moving_wall_correction(i, wall_velocity),
-                                );
+            for &cube in &plan.my_cubes {
+                for local in 0..npc {
+                    let flat = cdims.flat(cube, local);
+                    let (x, y, z) = cdims.join(cube, local);
+                    // SAFETY: reads my own pre-collision f / rho / ueq
+                    // (sole toucher this phase); writes exactly the f_new
+                    // slots the split streaming pass would (per-location
+                    // exclusive — see the kernel 6 argument below), and no
+                    // thread reads f_new before barrier 1. Skipping the f
+                    // write-back is invisible: loop 3 reads f_new and loop
+                    // 5 overwrites f wholesale.
+                    unsafe {
+                        let mut fvals = [0.0f64; Q];
+                        for i in 0..Q {
+                            fvals[i] = grid.f.get(flat * Q + i);
+                        }
+                        let rho = grid.rho.get(flat);
+                        let ueq = [
+                            grid.ueqx.get(flat),
+                            grid.ueqy.get(flat),
+                            grid.ueqz.get(flat),
+                        ];
+                        bgk_collide_node(&mut fvals, rho, ueq, [0.0; 3], tau);
+                        grid.f_new.set(flat * Q, fvals[0]);
+                        for i in 1..Q {
+                            match router.route(x, y, z, i) {
+                                CoordRoute::Neighbor(d) => {
+                                    let dflat = indexer.flat(d[0], d[1], d[2]);
+                                    grid.f_new.set(dflat * Q + i, fvals[i]);
+                                }
+                                CoordRoute::BounceBack {
+                                    opposite,
+                                    wall_velocity,
+                                } => {
+                                    grid.f_new.set(
+                                        flat * Q + opposite,
+                                        fvals[i] - moving_wall_correction(i, wall_velocity),
+                                    );
+                                }
                             }
                         }
                     }
                 }
             }
-            busy[5] += t0.elapsed().as_secs_f64();
+            busy[9] += t0.elapsed().as_secs_f64();
+        } else {
+            for &cube in &plan.my_cubes {
+                // Kernel 5: collision within the cube.
+                let t0 = Instant::now();
+                for local in 0..npc {
+                    let flat = cdims.flat(cube, local);
+                    // SAFETY: my cube's f / rho / ueq; sole toucher this phase.
+                    unsafe {
+                        let mut fvals = [0.0f64; Q];
+                        for i in 0..Q {
+                            fvals[i] = grid.f.get(flat * Q + i);
+                        }
+                        let rho = grid.rho.get(flat);
+                        let ueq = [
+                            grid.ueqx.get(flat),
+                            grid.ueqy.get(flat),
+                            grid.ueqz.get(flat),
+                        ];
+                        bgk_collide_node(&mut fvals, rho, ueq, [0.0; 3], tau);
+                        for i in 0..Q {
+                            grid.f.set(flat * Q + i, fvals[i]);
+                        }
+                    }
+                }
+                busy[4] += t0.elapsed().as_secs_f64();
+
+                // Kernel 6: push streaming out of the cube. Cross-cube writes
+                // are per-location exclusive: for a fixed direction the
+                // source→destination map is injective, and bounce-back targets
+                // (node, opposite) slots nothing else writes.
+                let t0 = Instant::now();
+                for local in 0..npc {
+                    let flat = cdims.flat(cube, local);
+                    let (x, y, z) = cdims.join(cube, local);
+                    // SAFETY: reads of my own post-collision f; writes to
+                    // unique f_new slots (argument above); no f_new reads until
+                    // after barrier 1.
+                    unsafe {
+                        grid.f_new.set(flat * Q, grid.f.get(flat * Q));
+                        for i in 1..Q {
+                            let v = grid.f.get(flat * Q + i);
+                            match router.route(x, y, z, i) {
+                                CoordRoute::Neighbor(d) => {
+                                    let dflat = indexer.flat(d[0], d[1], d[2]);
+                                    grid.f_new.set(dflat * Q + i, v);
+                                }
+                                CoordRoute::BounceBack {
+                                    opposite,
+                                    wall_velocity,
+                                } => {
+                                    grid.f_new.set(
+                                        flat * Q + opposite,
+                                        v - moving_wall_correction(i, wall_velocity),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                busy[5] += t0.elapsed().as_secs_f64();
+            }
         }
 
         barrier.wait(); // barrier 1: all streamed populations in place
@@ -755,10 +791,33 @@ mod tests {
     #[test]
     fn profiling_is_populated() {
         let mut cube = CubeSolver::new(SimulationConfig::quick_test(), 2);
-        cube.run(3);
+        let report = cube.run(3);
         assert!(cube.profile.total(KernelId::Collision).as_nanos() > 0);
-        assert!(cube.last_run_wall().is_some());
+        assert_eq!(report.steps, 3);
+        assert!(report.wall.as_nanos() > 0);
         assert!(cube.imbalance.total_critical() > 0.0);
+    }
+
+    #[test]
+    fn fused_plan_is_bit_identical_to_split() {
+        let split_cfg = SimulationConfig::quick_test();
+        let mut fused_cfg = split_cfg;
+        fused_cfg.plan = KernelPlan::Fused;
+        for threads in [1, 4] {
+            let mut split = CubeSolver::new(split_cfg, threads);
+            let mut fused = CubeSolver::new(fused_cfg, threads);
+            split.run(6);
+            fused.run(6);
+            let ss = split.to_state();
+            let fs = fused.to_state();
+            // Same arithmetic, same slots: exact agreement per thread count.
+            assert_eq!(ss.fluid.f, fs.fluid.f, "{threads} threads");
+            assert_eq!(ss.sheet.pos, fs.sheet.pos, "{threads} threads");
+            assert_eq!(fused.profile.calls(KernelId::FusedCollideStream), 1);
+            assert_eq!(fused.profile.calls(KernelId::Stream), 1); // zero-duration slot
+            assert!(fused.profile.total(KernelId::Stream).is_zero());
+            assert!(fused.profile.total(KernelId::FusedCollideStream).as_nanos() > 0);
+        }
     }
 
     #[test]

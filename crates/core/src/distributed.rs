@@ -31,8 +31,9 @@ use lbm::lattice::{OPPOSITE, Q};
 use lbm::macroscopic::node_moments_shifted;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender as Sender};
 
-use crate::config::SimulationConfig;
+use crate::config::{KernelPlan, SimulationConfig};
 use crate::openmp::balanced_ranges;
+use crate::solver::RunReport;
 use crate::state::SimState;
 
 /// Everything one rank owns. `f` carries two ghost planes (local plane 0 =
@@ -233,10 +234,12 @@ impl DistributedSolver {
     }
 
     /// Runs `n_steps`, spawning one thread per rank connected by channels.
-    pub fn run(&mut self, n_steps: u64) {
+    /// Reports steps and wall time.
+    pub fn run(&mut self, n_steps: u64) -> RunReport {
         if n_steps == 0 {
-            return;
+            return RunReport::default();
         }
+        let t0 = std::time::Instant::now();
         let n = self.n_ranks;
         let config = self.config;
         let sheet_template = self.sheet.clone();
@@ -276,6 +279,10 @@ impl DistributedSolver {
         self.ranks = new_ranks;
         self.sheet = sheet_out.expect("at least one rank");
         self.step += n_steps;
+        RunReport {
+            steps: n_steps,
+            wall: t0.elapsed(),
+        }
     }
 }
 
@@ -356,14 +363,69 @@ fn rank_main(
             });
         }
 
-        // Kernel 5: collision on owned planes.
-        for lx in 0..w {
-            for yz in 0..plane {
-                let lnode = lx * plane + yz;
-                let fi = (lx + 1) * plane * Q + yz * Q;
-                let ueq = [rank.ueqx[lnode], rank.ueqy[lnode], rank.ueqz[lnode]];
-                let rho = rank.rho[lnode];
-                bgk_collide_node(&mut rank.f[fi..fi + Q], rho, ueq, [0.0; 3], tau);
+        match config.plan {
+            KernelPlan::Split => {
+                // Kernel 5: collision on owned planes.
+                for lx in 0..w {
+                    for yz in 0..plane {
+                        let lnode = lx * plane + yz;
+                        let fi = (lx + 1) * plane * Q + yz * Q;
+                        let ueq = [rank.ueqx[lnode], rank.ueqy[lnode], rank.ueqz[lnode]];
+                        let rho = rank.rho[lnode];
+                        bgk_collide_node(&mut rank.f[fi..fi + Q], rho, ueq, [0.0; 3], tau);
+                    }
+                }
+            }
+            KernelPlan::Fused => {
+                // Fused kernels 5+6, slab-local part: collide every owned
+                // node in registers and push the results straight into the
+                // owned slots of f_new. Only the two boundary planes write
+                // their post-collision values back into rank.f — the halo
+                // exchange ships exactly those planes to the neighbours.
+                // Populations whose destination plane belongs to another
+                // rank are dropped here; the owning rank reconstructs them
+                // from its ghost planes after the exchange (see the fix-up
+                // pass below).
+                for lx in 0..w {
+                    let gx = rank.x0 + lx;
+                    let boundary = lx == 0 || lx == w - 1;
+                    for y in 0..dims.ny {
+                        for z in 0..dims.nz {
+                            let yz = y * dims.nz + z;
+                            let fi = ((lx + 1) * plane + yz) * Q;
+                            let lnode = lx * plane + yz;
+                            let mut regs = [0.0f64; Q];
+                            regs.copy_from_slice(&rank.f[fi..fi + Q]);
+                            let ueq = [rank.ueqx[lnode], rank.ueqy[lnode], rank.ueqz[lnode]];
+                            bgk_collide_node(&mut regs, rank.rho[lnode], ueq, [0.0; 3], tau);
+                            if boundary {
+                                rank.f[fi..fi + Q].copy_from_slice(&regs);
+                            }
+                            rank.f_new[lnode * Q] = regs[0];
+                            for i in 1..Q {
+                                match router.route(gx, y, z, i) {
+                                    CoordRoute::Neighbor(d) => {
+                                        if d[0] >= rank.x0 && d[0] < x1 {
+                                            let dnode =
+                                                (d[0] - rank.x0) * plane + d[1] * dims.nz + d[2];
+                                            rank.f_new[dnode * Q + i] = regs[i];
+                                        }
+                                    }
+                                    CoordRoute::BounceBack {
+                                        opposite,
+                                        wall_velocity,
+                                    } => {
+                                        // x is periodic here, so walls are
+                                        // y/z only: the reflected slot is
+                                        // the origin node's own — owned.
+                                        rank.f_new[lnode * Q + opposite] =
+                                            regs[i] - moving_wall_correction(i, wall_velocity);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -391,26 +453,59 @@ fn rank_main(
             }
         }
 
-        // Kernel 6: pull streaming into owned f_new, reading ghosts.
-        for lx in 0..w {
-            let gx = rank.x0 + lx;
-            for y in 0..dims.ny {
-                for z in 0..dims.nz {
-                    let lnode = lx * plane + y * dims.nz + z;
-                    let out = &mut rank.f_new[lnode * Q..lnode * Q + Q];
-                    // Rest population.
-                    out[0] = rank.f[((lx + 1) * plane + y * dims.nz + z) * Q];
-                    for i in 1..Q {
-                        let o = OPPOSITE[i];
-                        match router.route(gx, y, z, o) {
-                            CoordRoute::Neighbor(d) => {
-                                let lp = local_plane(d[0]).expect("upwind plane visible");
-                                let src = (lp * plane + d[1] * dims.nz + d[2]) * Q + i;
-                                out[i] = rank.f[src];
+        match config.plan {
+            KernelPlan::Split => {
+                // Kernel 6: pull streaming into owned f_new, reading ghosts.
+                for lx in 0..w {
+                    let gx = rank.x0 + lx;
+                    for y in 0..dims.ny {
+                        for z in 0..dims.nz {
+                            let lnode = lx * plane + y * dims.nz + z;
+                            let out = &mut rank.f_new[lnode * Q..lnode * Q + Q];
+                            // Rest population.
+                            out[0] = rank.f[((lx + 1) * plane + y * dims.nz + z) * Q];
+                            for i in 1..Q {
+                                let o = OPPOSITE[i];
+                                match router.route(gx, y, z, o) {
+                                    CoordRoute::Neighbor(d) => {
+                                        let lp = local_plane(d[0]).expect("upwind plane visible");
+                                        let src = (lp * plane + d[1] * dims.nz + d[2]) * Q + i;
+                                        out[i] = rank.f[src];
+                                    }
+                                    CoordRoute::BounceBack { wall_velocity, .. } => {
+                                        let own = ((lx + 1) * plane + y * dims.nz + z) * Q + o;
+                                        out[i] =
+                                            rank.f[own] - moving_wall_correction(o, wall_velocity);
+                                    }
+                                }
                             }
-                            CoordRoute::BounceBack { wall_velocity, .. } => {
-                                let own = ((lx + 1) * plane + y * dims.nz + z) * Q + o;
-                                out[i] = rank.f[own] - moving_wall_correction(o, wall_velocity);
+                        }
+                    }
+                }
+            }
+            KernelPlan::Fused => {
+                // Fused kernels 5+6, ghost fix-up: populations pushed
+                // toward my boundary planes by neighbouring ranks never
+                // arrived (the push above is rank-local), but their
+                // post-collision sources now sit in my ghost planes. Pull
+                // exactly those entries — every other slot of f_new was
+                // already written by the push. With one rank the push
+                // covered the wrap too, and this pass matches nothing.
+                let boundary_planes: &[usize] = if w == 1 { &[0] } else { &[0, w - 1] };
+                for &lx in boundary_planes {
+                    let gx = rank.x0 + lx;
+                    for y in 0..dims.ny {
+                        for z in 0..dims.nz {
+                            let lnode = lx * plane + y * dims.nz + z;
+                            for i in 1..Q {
+                                let o = OPPOSITE[i];
+                                if let CoordRoute::Neighbor(d) = router.route(gx, y, z, o) {
+                                    if d[0] < rank.x0 || d[0] >= x1 {
+                                        let lp = local_plane(d[0]).expect("upwind plane visible");
+                                        let src = (lp * plane + d[1] * dims.nz + d[2]) * Q + i;
+                                        rank.f_new[lnode * Q + i] = rank.f[src];
+                                    }
+                                }
                             }
                         }
                     }
@@ -525,6 +620,26 @@ mod tests {
         let d = compare_states(&once.to_state(), &twice.to_state());
         assert!(d.within(1e-12), "{d:?}");
         assert_eq!(once.step, twice.step);
+    }
+
+    #[test]
+    fn fused_plan_is_bit_identical_to_split() {
+        let cfg = SimulationConfig::quick_test();
+        let mut fused_cfg = cfg;
+        fused_cfg.plan = KernelPlan::Fused;
+        for ranks in [1, 2, 3, 4] {
+            let mut split = DistributedSolver::new(cfg, ranks);
+            let split_report = split.run(8);
+            let mut fused = DistributedSolver::new(fused_cfg, ranks);
+            let fused_report = fused.run(8);
+            assert_eq!(split_report.steps, 8);
+            assert_eq!(fused_report.steps, 8);
+            let s = split.to_state();
+            let f = fused.to_state();
+            assert_eq!(s.fluid.f, f.fluid.f, "{ranks} ranks: f diverged");
+            assert_eq!(s.fluid.ux, f.fluid.ux, "{ranks} ranks: ux diverged");
+            assert_eq!(s.sheet.pos, f.sheet.pos, "{ranks} ranks: sheet diverged");
+        }
     }
 
     #[test]

@@ -71,6 +71,16 @@ pub fn stream_fluid_velocity_distribution(state: &mut SimState) {
     stream_push_bounded(&mut state.fluid, &state.config.bc);
 }
 
+/// Fused kernels 5+6: collide every node in registers and push the
+/// post-collision populations straight into `f_new` (periodic wrap and
+/// bounce-back in the same inner loop). Bit-identical to running
+/// [`compute_fluid_collision`] then [`stream_fluid_velocity_distribution`],
+/// except `f` keeps its pre-collision values — which kernels 7 and 9 never
+/// read before overwriting.
+pub fn fused_collide_stream(state: &mut SimState) {
+    lbm::fused::fused_collide_stream_grid(&mut state.fluid, &state.config.bc, state.config.tau);
+}
+
 /// Kernel 7: new density and velocity from the streamed populations and the
 /// spread elastic force (physical velocity with F/2, shift velocity
 /// with τF).

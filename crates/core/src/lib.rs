@@ -18,13 +18,20 @@
 //!
 //! ## Quick example
 //!
-//! ```
-//! use lbm_ib::{config::SimulationConfig, sequential::SequentialSolver};
+//! All four drivers implement the [`solver::Solver`] trait, so generic
+//! code holds a `Box<dyn Solver>` and never matches on the kind:
 //!
-//! let mut solver = SequentialSolver::new(SimulationConfig::quick_test());
-//! solver.run(5);
-//! assert!(!solver.state.has_nan());
-//! println!("{}", solver.profile.table()); // the Table I layout
+//! ```
+//! use lbm_ib::solver::build_solver;
+//! use lbm_ib::{SimState, SimulationConfig};
+//!
+//! let config = SimulationConfig::quick_test();
+//! let mut solver = build_solver("seq", SimState::new(config), 1)?;
+//! let report = solver.run(5)?;
+//! assert_eq!(report.steps, 5);
+//! assert!(!solver.to_state().has_nan());
+//! println!("{}", solver.profile().unwrap().table()); // the Table I layout
+//! # Ok::<(), lbm_ib::solver::SolverError>(())
 //! ```
 
 pub mod atomicf64;
@@ -42,15 +49,17 @@ pub mod profiling;
 pub mod racecheck;
 pub mod sequential;
 pub mod sharedgrid;
+pub mod solver;
 pub mod state;
 pub mod sync_shim;
 pub mod threadpool;
 pub mod tuning;
 pub mod verify;
 
-pub use config::{SheetConfig, SimulationConfig, TetherConfig};
+pub use config::{ConfigError, KernelPlan, SheetConfig, SimulationConfig, TetherConfig};
 pub use cube::CubeSolver;
 pub use distributed::DistributedSolver;
 pub use openmp::OpenMpSolver;
 pub use sequential::SequentialSolver;
+pub use solver::{build_solver, RunReport, Solver, SolverError};
 pub use state::SimState;

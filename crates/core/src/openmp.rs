@@ -17,14 +17,17 @@ use std::time::Instant;
 use ib::forces::{bending_at, stretching_at};
 use ib::interp::{interpolate_velocity, VelocityField};
 use ib::spread::{spread_node, ForceSink};
-use lbm::boundary::{stream_pull_routed_node, StreamRouter};
+use lbm::boundary::{moving_wall_correction, stream_pull_routed_node, CoordRoute, StreamRouter};
 use lbm::collision::bgk_collide_node;
+use lbm::fused::collide_to_registers;
 use lbm::grid::Dims;
 use lbm::lattice::Q;
 use lbm::macroscopic::node_moments_shifted;
 
 use crate::atomicf64::{as_atomic_f64, AtomicF64};
+use crate::config::KernelPlan;
 use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
+use crate::solver::RunReport;
 use crate::state::SimState;
 use crate::threadpool::{current_thread_index, ThreadPool};
 
@@ -153,23 +156,27 @@ impl OpenMpSolver {
     }
 
     /// One full time step: Algorithm 1's kernels, each parallelised per
-    /// Algorithms 2–3.
+    /// Algorithms 2–3 (kernels 5+6 as one fused region under
+    /// [`KernelPlan::Fused`]).
     pub fn step(&mut self) {
         self.fiber_force_kernels();
         self.spread_kernel();
-        self.collision_kernel();
-        self.stream_kernel();
+        match self.state.config.plan {
+            KernelPlan::Split => {
+                self.collision_kernel();
+                self.stream_kernel();
+            }
+            KernelPlan::Fused => self.fused_kernel(),
+        }
         self.update_velocity_kernel();
         self.move_fibers_kernel();
         self.copy_kernel();
         self.state.step += 1;
     }
 
-    /// Runs `n` time steps.
-    pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
-        }
+    /// Runs `n` time steps and reports the wall time spent.
+    pub fn run(&mut self, n: u64) -> RunReport {
+        crate::solver::timed_steps(n, || self.step())
     }
 
     /// Kernels 1–3: parallel over fibers (first loop of Algorithm 3); the
@@ -425,6 +432,76 @@ impl OpenMpSolver {
                         [0.0; 3],
                         tau,
                     );
+                }
+            },
+        );
+    }
+
+    /// Fused kernels 5+6: each slab collides its own nodes in registers
+    /// and pushes the results straight into `f_new`, skipping both the
+    /// post-collision write-back of `f` and its re-read by streaming.
+    ///
+    /// Push streaming writes each `(destination node, direction)` slot of
+    /// `f_new` exactly once across the whole grid — interior/periodic
+    /// routes keep their direction and map origin nodes injectively, and a
+    /// bounce-back writes the origin's own `(node, opposite)` slot, whose
+    /// upwind route crossed a wall and therefore never produces a neighbour
+    /// write. Slots owned by no wall-adjacent node are still unique per
+    /// direction, so threads never store to the same location; the relaxed
+    /// atomic stores only make the cross-slab writes race-free in the
+    /// memory model, and the pool's implicit join publishes them before
+    /// kernel 7 reads `f_new`.
+    fn fused_kernel(&mut self) {
+        let n_threads = self.n_threads;
+        let n_chunks = self.n_chunks();
+        let tau = self.state.config.tau;
+        let dims = self.state.config.dims();
+        let bc = self.state.config.bc;
+        let plane = dims.ny * dims.nz;
+        let plane_ranges = balanced_ranges(dims.nx, n_chunks);
+        let node_ranges: Vec<Range<usize>> = plane_ranges
+            .iter()
+            .map(|r| r.start * plane..r.end * plane)
+            .collect();
+
+        let router = StreamRouter::new(dims, &bc);
+        let router = &router;
+        let fluid = &mut self.state.fluid;
+        let rho = &fluid.rho;
+        let ueqx = &fluid.ueqx;
+        let ueqy = &fluid.ueqy;
+        let ueqz = &fluid.ueqz;
+        let f = &fluid.f;
+        let f_new = as_atomic_f64(&mut fluid.f_new);
+        Self::region_static(
+            &self.pool,
+            &mut self.profile,
+            &mut self.imbalance,
+            n_threads,
+            KernelId::FusedCollideStream,
+            node_ranges,
+            |_t, nodes| {
+                for node in nodes {
+                    let ueq = [ueqx[node], ueqy[node], ueqz[node]];
+                    let regs =
+                        collide_to_registers(&f[node * Q..node * Q + Q], rho[node], ueq, tau);
+                    let (x, y, z) = dims.coords(node);
+                    f_new[node * Q].store(regs[0]);
+                    for i in 1..Q {
+                        match router.route(x, y, z, i) {
+                            CoordRoute::Neighbor(d) => {
+                                let dst = (d[0] * dims.ny + d[1]) * dims.nz + d[2];
+                                f_new[dst * Q + i].store(regs[i]);
+                            }
+                            CoordRoute::BounceBack {
+                                opposite,
+                                wall_velocity,
+                            } => {
+                                f_new[node * Q + opposite]
+                                    .store(regs[i] - moving_wall_correction(i, wall_velocity));
+                            }
+                        }
+                    }
                 }
             },
         );
@@ -695,13 +772,38 @@ mod tests {
     #[test]
     fn profiler_and_imbalance_populated() {
         let mut omp = OpenMpSolver::new(SimulationConfig::quick_test(), 2);
-        omp.run(3);
+        let report = omp.run(3);
+        assert_eq!(report.steps, 3);
         for k in KernelId::ALL {
-            assert_eq!(omp.profile.calls(k), 3, "{k:?}");
+            let expect = if k == KernelId::FusedCollideStream {
+                0
+            } else {
+                3
+            };
+            assert_eq!(omp.profile.calls(k), expect, "{k:?}");
         }
         assert!(omp.imbalance.total_critical() > 0.0);
         assert!(omp.imbalance.imbalance_percent() >= 0.0);
         assert_eq!(omp.n_threads(), 2);
+    }
+
+    #[test]
+    fn fused_plan_is_bit_identical_to_split() {
+        // The fused sweep performs the same f64 arithmetic and stores the
+        // same values at the same slots, so the agreement is exact, not
+        // approximate.
+        let split_cfg = SimulationConfig::quick_test();
+        let mut fused_cfg = split_cfg;
+        fused_cfg.plan = crate::config::KernelPlan::Fused;
+        let mut split = OpenMpSolver::new(split_cfg, 3);
+        let mut fused = OpenMpSolver::new(fused_cfg, 3);
+        split.run(8);
+        fused.run(8);
+        assert_eq!(split.state.fluid.f, fused.state.fluid.f);
+        assert_eq!(split.state.fluid.ux, fused.state.fluid.ux);
+        assert_eq!(split.state.sheet.pos, fused.state.sheet.pos);
+        assert_eq!(fused.profile.calls(KernelId::FusedCollideStream), 8);
+        assert_eq!(fused.profile.calls(KernelId::Collision), 0);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use std::time::{Duration, Instant};
 
-/// The nine computational kernels of Section III-B, in Algorithm 1 order.
+/// The nine computational kernels of Section III-B in Algorithm 1 order,
+/// plus the fused collide–stream sweep that replaces kernels 5+6 under
+/// [`crate::config::KernelPlan::Fused`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelId {
     BendingForce,
@@ -16,11 +18,15 @@ pub enum KernelId {
     UpdateVelocity,
     MoveFibers,
     CopyDistributions,
+    FusedCollideStream,
 }
 
 impl KernelId {
-    /// All kernels in Algorithm 1 order.
-    pub const ALL: [KernelId; 9] = [
+    /// Number of kernel slots (profiling array size).
+    pub const COUNT: usize = 10;
+
+    /// All kernels, the Algorithm 1 nine first, then the fused sweep.
+    pub const ALL: [KernelId; KernelId::COUNT] = [
         KernelId::BendingForce,
         KernelId::StretchingForce,
         KernelId::ElasticForce,
@@ -30,9 +36,10 @@ impl KernelId {
         KernelId::UpdateVelocity,
         KernelId::MoveFibers,
         KernelId::CopyDistributions,
+        KernelId::FusedCollideStream,
     ];
 
-    /// Index 0..9 (position in [`KernelId::ALL`]).
+    /// Index 0..[`KernelId::COUNT`] (position in [`KernelId::ALL`]).
     #[inline]
     pub fn index(self) -> usize {
         match self {
@@ -45,10 +52,12 @@ impl KernelId {
             KernelId::UpdateVelocity => 6,
             KernelId::MoveFibers => 7,
             KernelId::CopyDistributions => 8,
+            KernelId::FusedCollideStream => 9,
         }
     }
 
-    /// The paper's kernel number (1-based, Algorithm 1).
+    /// The paper's kernel number (1-based, Algorithm 1); the fused sweep
+    /// reports as 10 (it stands in for kernels 5 and 6).
     pub fn paper_number(self) -> usize {
         self.index() + 1
     }
@@ -65,6 +74,7 @@ impl KernelId {
             KernelId::UpdateVelocity => "update_fluid_velocity",
             KernelId::MoveFibers => "move_fibers",
             KernelId::CopyDistributions => "copy_fluid_velocity_distribution",
+            KernelId::FusedCollideStream => "fused_collide_stream (kernels 5+6)",
         }
     }
 }
@@ -72,8 +82,8 @@ impl KernelId {
 /// Accumulated per-kernel wall time — the gprof replacement.
 #[derive(Clone, Debug, Default)]
 pub struct KernelProfile {
-    totals: [Duration; 9],
-    calls: [u64; 9],
+    totals: [Duration; KernelId::COUNT],
+    calls: [u64; KernelId::COUNT],
 }
 
 impl KernelProfile {
@@ -151,7 +161,7 @@ impl KernelProfile {
 
     /// Merges another profile into this one.
     pub fn merge(&mut self, other: &KernelProfile) {
-        for i in 0..9 {
+        for i in 0..KernelId::COUNT {
             self.totals[i] += other.totals[i];
             self.calls[i] += other.calls[i];
         }
@@ -169,11 +179,11 @@ impl KernelProfile {
 pub struct ImbalanceTracker {
     n_threads: usize,
     /// Per-kernel accumulated busy time per thread.
-    busy: Vec<[f64; 9]>,
+    busy: Vec<[f64; KernelId::COUNT]>,
     /// Per-kernel accumulated imbalance (average wait) time.
-    imbalance: [f64; 9],
+    imbalance: [f64; KernelId::COUNT],
     /// Per-kernel accumulated max-thread (critical path) time.
-    critical: [f64; 9],
+    critical: [f64; KernelId::COUNT],
 }
 
 impl ImbalanceTracker {
@@ -182,9 +192,9 @@ impl ImbalanceTracker {
         assert!(n_threads > 0);
         Self {
             n_threads,
-            busy: vec![[0.0; 9]; n_threads],
-            imbalance: [0.0; 9],
-            critical: [0.0; 9],
+            busy: vec![[0.0; KernelId::COUNT]; n_threads],
+            imbalance: [0.0; KernelId::COUNT],
+            critical: [0.0; KernelId::COUNT],
         }
     }
 
@@ -258,6 +268,8 @@ mod tests {
         assert_eq!(KernelId::Collision.paper_number(), 5);
         assert_eq!(KernelId::CopyDistributions.paper_number(), 9);
         assert_eq!(KernelId::Collision.paper_name(), "compute_fluid_collision");
+        assert_eq!(KernelId::COUNT, KernelId::ALL.len());
+        assert_eq!(KernelId::FusedCollideStream.index(), 9);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Algorithm 1: the sequential LBM-IB solver, with built-in per-kernel
 //! profiling (the paper's Table I is this profiler's output).
 
+use crate::config::KernelPlan;
 use crate::kernels;
 use crate::profiling::{KernelId, KernelProfile};
+use crate::solver::RunReport;
 use crate::state::SimState;
 
 /// Sequential coupled solver.
@@ -28,7 +30,9 @@ impl SequentialSolver {
         }
     }
 
-    /// Executes one full time step: the nine kernels in Algorithm 1 order.
+    /// Executes one full time step: the nine kernels in Algorithm 1 order
+    /// (with kernels 5+6 replaced by one fused sweep under
+    /// [`KernelPlan::Fused`]).
     pub fn step(&mut self) {
         let s = &mut self.state;
         let p = &mut self.profile;
@@ -44,10 +48,19 @@ impl SequentialSolver {
         p.time(KernelId::SpreadForce, || {
             kernels::spread_force_from_fibers_to_fluid(s)
         });
-        p.time(KernelId::Collision, || kernels::compute_fluid_collision(s));
-        p.time(KernelId::Stream, || {
-            kernels::stream_fluid_velocity_distribution(s)
-        });
+        match s.config.plan {
+            KernelPlan::Split => {
+                p.time(KernelId::Collision, || kernels::compute_fluid_collision(s));
+                p.time(KernelId::Stream, || {
+                    kernels::stream_fluid_velocity_distribution(s)
+                });
+            }
+            KernelPlan::Fused => {
+                p.time(KernelId::FusedCollideStream, || {
+                    kernels::fused_collide_stream(s)
+                });
+            }
+        }
         p.time(KernelId::UpdateVelocity, || {
             kernels::update_fluid_velocity(s)
         });
@@ -58,10 +71,15 @@ impl SequentialSolver {
         s.step += 1;
     }
 
-    /// Runs `n` time steps.
-    pub fn run(&mut self, n: u64) {
+    /// Runs `n` time steps and reports the wall time spent.
+    pub fn run(&mut self, n: u64) -> RunReport {
+        let t0 = std::time::Instant::now();
         for _ in 0..n {
             self.step();
+        }
+        RunReport {
+            steps: n,
+            wall: t0.elapsed(),
         }
     }
 }
@@ -136,11 +154,29 @@ mod tests {
     #[test]
     fn profiler_sees_every_kernel() {
         let mut s = SequentialSolver::new(SimulationConfig::quick_test());
-        s.run(3);
+        let report = s.run(3);
+        assert_eq!(report.steps, 3);
         for k in KernelId::ALL {
-            assert_eq!(s.profile.calls(k), 3, "{k:?}");
+            let expect = if k == KernelId::FusedCollideStream {
+                0
+            } else {
+                3
+            };
+            assert_eq!(s.profile.calls(k), expect, "{k:?}");
         }
         assert!(s.profile.grand_total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn fused_plan_charges_the_fused_slot() {
+        let mut c = SimulationConfig::quick_test();
+        c.plan = crate::config::KernelPlan::Fused;
+        let mut s = SequentialSolver::new(c);
+        s.run(3);
+        assert_eq!(s.profile.calls(KernelId::FusedCollideStream), 3);
+        assert_eq!(s.profile.calls(KernelId::Collision), 0);
+        assert_eq!(s.profile.calls(KernelId::Stream), 0);
+        assert!(!s.state.has_nan());
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! The unified [`Solver`] interface over the four drivers.
+//!
+//! Every solver — sequential (Algorithm 1), OpenMP-style slab-parallel,
+//! cube-centric (Algorithm 4) and the distributed prototype — advances the
+//! same physics; this module gives them one API so the binary, the
+//! examples and the verification harness can drive any of them through a
+//! `Box<dyn Solver>` instead of duplicated match arms.
+
+use std::time::{Duration, Instant};
+
+use crate::config::ConfigError;
+use crate::cube::CubeSolver;
+use crate::distributed::DistributedSolver;
+use crate::openmp::OpenMpSolver;
+use crate::profiling::KernelProfile;
+use crate::sequential::SequentialSolver;
+use crate::state::SimState;
+
+/// What a completed [`Solver::run`] did: how many steps, and how long the
+/// whole run took on the wall clock (including barriers and thread spawn
+/// for the parallel solvers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Time steps executed by this call.
+    pub steps: u64,
+    /// Wall-clock time of the whole call.
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Steps per wall-clock second (0 for an empty or instantaneous run).
+    pub fn steps_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Merges a subsequent report into this one.
+    pub fn merge(&mut self, other: RunReport) {
+        self.steps += other.steps;
+        self.wall += other.wall;
+    }
+}
+
+/// Why a solver could not be built or run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// The simulation configuration failed validation.
+    Config(ConfigError),
+    /// A parallel solver was asked for zero threads/ranks.
+    ZeroThreads,
+    /// The distributed solver needs the x axis periodic to slice it.
+    NonPeriodicX,
+    /// More ranks than x planes to distribute.
+    TooManyRanks { ranks: usize, nx: usize },
+    /// The solver name is not one of `seq|omp|cube|dist`.
+    UnknownSolver(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Config(e) => write!(f, "{e}"),
+            SolverError::ZeroThreads => write!(f, "need at least one thread"),
+            SolverError::NonPeriodicX => write!(
+                f,
+                "the distributed decomposition slices the periodic x axis"
+            ),
+            SolverError::TooManyRanks { ranks, nx } => {
+                write!(f, "{ranks} ranks but only {nx} x planes to distribute")
+            }
+            SolverError::UnknownSolver(name) => {
+                write!(f, "unknown solver '{name}' (expected seq|omp|cube|dist)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SolverError {
+    fn from(e: ConfigError) -> Self {
+        SolverError::Config(e)
+    }
+}
+
+/// A coupled LBM-IB time-stepping driver. All four implementations advance
+/// identical physics (`verify::cross_check` holds them to ≤1e-12 of each
+/// other under both kernel plans); they differ only in how the work is
+/// scheduled over threads.
+pub trait Solver {
+    /// Short name matching the `--solver` flag (`seq`, `omp`, `cube`,
+    /// `dist`).
+    fn name(&self) -> &'static str;
+
+    /// Advances one time step.
+    fn step(&mut self);
+
+    /// Advances `n` time steps, reporting steps and wall time.
+    fn run(&mut self, n: u64) -> Result<RunReport, SolverError>;
+
+    /// A flat-layout snapshot of the current state (cheap clone for the
+    /// flat solvers, a gather for the cube/distributed layouts).
+    fn to_state(&self) -> SimState;
+
+    /// The per-kernel profile, if this solver keeps one.
+    fn profile(&self) -> Option<&KernelProfile>;
+}
+
+impl Solver for SequentialSolver {
+    fn name(&self) -> &'static str {
+        "seq"
+    }
+    fn step(&mut self) {
+        SequentialSolver::step(self);
+    }
+    fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
+        Ok(SequentialSolver::run(self, n))
+    }
+    fn to_state(&self) -> SimState {
+        self.state.clone()
+    }
+    fn profile(&self) -> Option<&KernelProfile> {
+        Some(&self.profile)
+    }
+}
+
+impl Solver for OpenMpSolver {
+    fn name(&self) -> &'static str {
+        "omp"
+    }
+    fn step(&mut self) {
+        OpenMpSolver::step(self);
+    }
+    fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
+        Ok(OpenMpSolver::run(self, n))
+    }
+    fn to_state(&self) -> SimState {
+        self.state.clone()
+    }
+    fn profile(&self) -> Option<&KernelProfile> {
+        Some(&self.profile)
+    }
+}
+
+impl Solver for CubeSolver {
+    fn name(&self) -> &'static str {
+        "cube"
+    }
+    fn step(&mut self) {
+        CubeSolver::run(self, 1);
+    }
+    fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
+        Ok(CubeSolver::run(self, n))
+    }
+    fn to_state(&self) -> SimState {
+        CubeSolver::to_state(self)
+    }
+    fn profile(&self) -> Option<&KernelProfile> {
+        Some(&self.profile)
+    }
+}
+
+impl Solver for DistributedSolver {
+    fn name(&self) -> &'static str {
+        "dist"
+    }
+    fn step(&mut self) {
+        DistributedSolver::run(self, 1);
+    }
+    fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
+        Ok(DistributedSolver::run(self, n))
+    }
+    fn to_state(&self) -> SimState {
+        DistributedSolver::to_state(self)
+    }
+    fn profile(&self) -> Option<&KernelProfile> {
+        // The distributed prototype keeps per-rank timings out of scope.
+        None
+    }
+}
+
+/// Builds the solver named by `kind` (`seq|omp|cube|dist`) over `state`,
+/// with `threads` workers/ranks for the parallel drivers. All failure
+/// modes — bad name, bad thread count, a decomposition the state cannot
+/// support — come back as [`SolverError`] instead of a panic.
+pub fn build_solver(
+    kind: &str,
+    state: SimState,
+    threads: usize,
+) -> Result<Box<dyn Solver>, SolverError> {
+    match kind {
+        "seq" => Ok(Box::new(SequentialSolver::from_state(state))),
+        "omp" => Ok(Box::new(OpenMpSolver::try_from_state(state, threads)?)),
+        "cube" => Ok(Box::new(CubeSolver::try_from_state(state, threads)?)),
+        "dist" => Ok(Box::new(DistributedSolver::try_from_state(state, threads)?)),
+        other => Err(SolverError::UnknownSolver(other.to_string())),
+    }
+}
+
+impl SimState {
+    /// Like [`SimState::new`] but returns the validation problem instead
+    /// of panicking.
+    pub fn try_new(config: crate::config::SimulationConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self::new(config))
+    }
+}
+
+impl OpenMpSolver {
+    /// Like [`OpenMpSolver::from_state`] but returns an error instead of
+    /// panicking on a zero thread count.
+    pub fn try_from_state(state: SimState, n_threads: usize) -> Result<Self, SolverError> {
+        if n_threads == 0 {
+            return Err(SolverError::ZeroThreads);
+        }
+        Ok(Self::from_state(state, n_threads))
+    }
+}
+
+impl CubeSolver {
+    /// Like [`CubeSolver::from_state`] but returns an error instead of
+    /// panicking on a zero thread count or an indivisible grid.
+    pub fn try_from_state(state: SimState, n_threads: usize) -> Result<Self, SolverError> {
+        if n_threads == 0 {
+            return Err(SolverError::ZeroThreads);
+        }
+        state.config.validate()?;
+        Ok(Self::from_state(state, n_threads))
+    }
+}
+
+impl DistributedSolver {
+    /// Like [`DistributedSolver::from_state`] but returns an error instead
+    /// of panicking on a non-periodic x axis or a bad rank count.
+    pub fn try_from_state(state: SimState, n_ranks: usize) -> Result<Self, SolverError> {
+        if !state.config.bc.x.is_periodic() {
+            return Err(SolverError::NonPeriodicX);
+        }
+        if n_ranks == 0 {
+            return Err(SolverError::ZeroThreads);
+        }
+        if n_ranks > state.config.nx {
+            return Err(SolverError::TooManyRanks {
+                ranks: n_ranks,
+                nx: state.config.nx,
+            });
+        }
+        Ok(Self::from_state(state, n_ranks))
+    }
+}
+
+/// Times `n` steps of any closure-driven stepper — shared by the inherent
+/// `run` implementations that loop over `step`.
+pub(crate) fn timed_steps(n: u64, mut step: impl FnMut()) -> RunReport {
+    let t0 = Instant::now();
+    for _ in 0..n {
+        step();
+    }
+    RunReport {
+        steps: n,
+        wall: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelPlan, SimulationConfig};
+    use crate::verify::compare_states;
+
+    #[test]
+    fn build_solver_covers_all_four() {
+        let config = SimulationConfig::quick_test();
+        for kind in ["seq", "omp", "cube", "dist"] {
+            let state = SimState::new(config);
+            let mut s = build_solver(kind, state, 2).unwrap();
+            assert_eq!(s.name(), kind);
+            let report = s.run(2).unwrap();
+            assert_eq!(report.steps, 2);
+            assert_eq!(s.to_state().step, 2);
+            // Only the distributed prototype lacks a profile.
+            assert_eq!(s.profile().is_some(), kind != "dist");
+        }
+    }
+
+    #[test]
+    fn unknown_solver_is_an_error_not_a_panic() {
+        let state = SimState::new(SimulationConfig::quick_test());
+        let err = build_solver("mpi", state, 2).err().expect("must fail");
+        assert_eq!(err, SolverError::UnknownSolver("mpi".into()));
+        assert!(err.to_string().contains("mpi"));
+    }
+
+    #[test]
+    fn zero_threads_is_an_error_not_a_panic() {
+        for kind in ["omp", "cube", "dist"] {
+            let state = SimState::new(SimulationConfig::quick_test());
+            assert_eq!(
+                build_solver(kind, state, 0).err().expect("must fail"),
+                SolverError::ZeroThreads,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_preconditions_are_typed() {
+        let mut c = SimulationConfig::quick_test();
+        c.bc = lbm::boundary::BoundaryConfig {
+            x: lbm::boundary::AxisBoundary::no_slip(),
+            ..c.bc
+        };
+        // A non-periodic x axis combined with the quick_test sheet stays
+        // valid (the sheet has zero x extent well inside the box).
+        let state = SimState::new(c);
+        assert_eq!(
+            DistributedSolver::try_from_state(state, 2)
+                .err()
+                .expect("must fail"),
+            SolverError::NonPeriodicX
+        );
+
+        let state = SimState::new(SimulationConfig::quick_test());
+        let nx = state.config.nx;
+        assert_eq!(
+            DistributedSolver::try_from_state(state, nx + 1)
+                .err()
+                .expect("must fail"),
+            SolverError::TooManyRanks { ranks: nx + 1, nx }
+        );
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let mut c = SimulationConfig::quick_test();
+        c.tau = 0.2;
+        assert!(matches!(
+            SimState::try_new(c),
+            Err(ConfigError::InvalidTau { .. })
+        ));
+        assert!(SimState::try_new(SimulationConfig::quick_test()).is_ok());
+    }
+
+    #[test]
+    fn trait_object_steps_match_inherent_run() {
+        let config = SimulationConfig::quick_test();
+        let mut by_steps = build_solver("seq", SimState::new(config), 1).unwrap();
+        for _ in 0..4 {
+            by_steps.step();
+        }
+        let mut by_run = SequentialSolver::new(config);
+        by_run.run(4);
+        assert_eq!(
+            compare_states(&by_steps.to_state(), &by_run.state).worst(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn run_report_arithmetic() {
+        let mut r = RunReport {
+            steps: 10,
+            wall: Duration::from_secs(2),
+        };
+        assert_eq!(r.steps_per_second(), 5.0);
+        r.merge(RunReport {
+            steps: 5,
+            wall: Duration::from_secs(1),
+        });
+        assert_eq!(r.steps, 15);
+        assert_eq!(r.wall, Duration::from_secs(3));
+        assert_eq!(RunReport::default().steps_per_second(), 0.0);
+    }
+
+    #[test]
+    fn fused_plan_runs_through_the_trait() {
+        let config = SimulationConfig::builder()
+            .plan(KernelPlan::Fused)
+            .build()
+            .unwrap();
+        let mut s = build_solver("seq", SimState::new(config), 1).unwrap();
+        let report = s.run(3).unwrap();
+        assert_eq!(report.steps, 3);
+        assert!(!s.to_state().has_nan());
+    }
+}

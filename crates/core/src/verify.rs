@@ -91,6 +91,34 @@ pub fn verify_all_solvers(
     )
 }
 
+/// Runs every solver under the split *and* the fused kernel plan and
+/// returns `(solver name, split-vs-fused diff)` per solver. The fused
+/// sweep performs the same f64 arithmetic as split collision + streaming,
+/// so every diff should be identically zero; `verify` asserts ≤ 1e-12 to
+/// leave headroom for future reassociating optimisations.
+pub fn cross_check(
+    config: crate::config::SimulationConfig,
+    steps: u64,
+    threads: usize,
+) -> Vec<(&'static str, StateDiff)> {
+    use crate::config::KernelPlan;
+    use crate::solver::build_solver;
+    let mut out = Vec::new();
+    for kind in ["seq", "omp", "cube", "dist"] {
+        let mut states = [KernelPlan::Split, KernelPlan::Fused].map(|plan| {
+            let mut cfg = config;
+            cfg.plan = plan;
+            let state = SimState::new(cfg);
+            let mut solver = build_solver(kind, state, threads).expect("buildable solver");
+            solver.run(steps).expect("run succeeds");
+            solver.to_state()
+        });
+        let [split, fused] = &mut states;
+        out.push((kind, compare_states(split, fused)));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +160,16 @@ mod tests {
         let (omp_diff, cube_diff) = verify_all_solvers(SimulationConfig::quick_test(), 5, 3);
         assert!(omp_diff.within(1e-12), "openmp diverged: {omp_diff:?}");
         assert!(cube_diff.within(1e-12), "cube diverged: {cube_diff:?}");
+    }
+
+    #[test]
+    fn fused_plan_matches_split_on_every_solver() {
+        for (kind, diff) in cross_check(SimulationConfig::quick_test(), 5, 3) {
+            assert!(
+                diff.within(1e-12),
+                "{kind}: fused diverged from split: {diff:?}"
+            );
+        }
     }
 
     #[test]

@@ -201,6 +201,52 @@ fn algorithm4_phase_sequence_two_cubes() {
     });
 }
 
+/// Fused collide–stream across a shared cube face: two workers each
+/// collide their own cube's population in registers and push one result
+/// into the *other* cube's `f_new` slot — the cross-face write the fused
+/// plan performs with no locks. Safety rests on push-streaming
+/// injectivity: each `(destination node, direction)` slot has exactly one
+/// writer grid-wide, so the writes are per-location exclusive, and the
+/// post-sweep barrier publishes them to the kernel-7 readers. Loom
+/// verifies both halves of that argument: distinct slots race-free during
+/// the sweep, barrier edge before the read-back.
+#[test]
+fn fused_push_across_cube_face_is_race_free() {
+    loom::model(|| {
+        // f_new slots: index c = (cube c, incoming direction from the
+        // other cube). Each is written by exactly one worker — the one
+        // that owns the *source* cube.
+        let f = Arc::new(SharedSlice::from_vec(vec![1.0f64, 2.0]));
+        let f_new = Arc::new(SharedSlice::from_vec(vec![0.0f64; 2]));
+        let barrier = Arc::new(SpinBarrier::new(2));
+
+        let worker =
+            |t: usize, f: &SharedSlice<f64>, f_new: &SharedSlice<f64>, barrier: &SpinBarrier| {
+                // Collide in registers: read own cube's pre-collision value
+                // (exclusive — nobody writes f during the fused sweep).
+                // SAFETY: f is read-only in this phase.
+                let reg = unsafe { f.get(t) } * 0.5;
+                // Push across the face into the neighbour cube's slot.
+                // SAFETY: slot `1 - t` has this worker as its unique writer
+                // (push injectivity); no reads until after the barrier.
+                unsafe { f_new.set(1 - t, reg) };
+                barrier.wait();
+                // Kernel 7 reads everything after the barrier.
+                for c in 0..2 {
+                    // SAFETY: writes stopped at the barrier.
+                    let v = unsafe { f_new.get(c) };
+                    let expect = if c == 0 { 1.0 } else { 0.5 };
+                    assert_eq!(v, expect, "slot {c} not published to kernel 7");
+                }
+            };
+
+        let (f2, n2, b2) = (Arc::clone(&f), Arc::clone(&f_new), Arc::clone(&barrier));
+        let h = thread::spawn(move || worker(1, &f2, &n2, &b2));
+        worker(0, &f, &f_new, &barrier);
+        h.join().unwrap();
+    });
+}
+
 /// Falsifiability check for the harness itself: the same slot written by
 /// two threads with *no* synchronisation must be reported as a race.
 #[test]

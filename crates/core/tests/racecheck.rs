@@ -45,6 +45,33 @@ fn cube_solver_run_is_discipline_clean() {
     report.assert_clean();
 }
 
+/// The fused kernel plan merges collision and streaming into one lock-free
+/// per-cube pass whose cross-face pushes rely on push-streaming
+/// injectivity — each `(destination node, direction)` slot of `f_new` has
+/// exactly one writer. The auditor must find that discipline intact over a
+/// full multi-threaded run.
+#[test]
+fn fused_cube_solver_run_is_discipline_clean() {
+    let _g = serial();
+    let mut cfg = SimulationConfig::quick_test();
+    cfg.plan = lbm_ib::config::KernelPlan::Fused;
+    let mut solver = CubeSolver::new(cfg, 3);
+    racecheck::begin();
+    solver.run(2);
+    let report = racecheck::audit();
+    assert!(
+        report.dropped == 0,
+        "log overflow: {} dropped",
+        report.dropped
+    );
+    assert!(
+        report.records > 100_000,
+        "suspiciously few records: {}",
+        report.records
+    );
+    report.assert_clean();
+}
+
 /// Deliberately-seeded violation: two tracked threads write the same slot
 /// in the same phase with no lock. The auditor must fire.
 #[test]

@@ -64,6 +64,9 @@ impl From<String> for BenchmarkId {
 /// The measurement driver handed to each benchmark closure.
 pub struct Bencher {
     samples: usize,
+    /// Skip the warm-up call (set in `--test` mode, where each benchmark
+    /// body must run exactly once).
+    warmup: bool,
     /// Collected per-iteration times, filled by `iter`/`iter_batched`.
     results: Vec<Duration>,
 }
@@ -72,7 +75,9 @@ impl Bencher {
     /// Times `routine` repeatedly (one warm-up call, then `samples`
     /// measured calls).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        std_black_box(routine());
+        if self.warmup {
+            std_black_box(routine());
+        }
         for _ in 0..self.samples {
             let t0 = Instant::now();
             std_black_box(routine());
@@ -87,7 +92,9 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        std_black_box(routine(setup()));
+        if self.warmup {
+            std_black_box(routine(setup()));
+        }
         for _ in 0..self.samples {
             let input = setup();
             let t0 = Instant::now();
@@ -121,13 +128,17 @@ fn report(group: &str, name: &str, results: &mut [Duration]) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of measured samples per benchmark.
+    /// Sets the number of measured samples per benchmark (ignored in
+    /// `--test` mode, which pins everything to a single iteration).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        if !self.test_mode {
+            self.samples = n.max(1);
+        }
         self
     }
 
@@ -145,6 +156,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: self.samples,
+            warmup: !self.test_mode,
             results: Vec::new(),
         };
         f(&mut b);
@@ -159,6 +171,7 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             samples: self.samples,
+            warmup: !self.test_mode,
             results: Vec::new(),
         };
         f(&mut b, input);
@@ -174,19 +187,33 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     default_samples: usize,
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Driver with the stand-in's default sample count (20).
+    /// Driver with the stand-in's default sample count (20). Mirroring real
+    /// criterion, a `--test` argument on the bench binary switches to test
+    /// mode: every benchmark body runs exactly once, unmeasured-in-spirit —
+    /// CI smoke jobs use this to prove the benches still execute without
+    /// paying measurement time.
     pub fn new() -> Self {
         Self {
             default_samples: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
+    }
+
+    /// Forces or clears test mode regardless of the command line.
+    pub fn with_test_mode(mut self, test_mode: bool) -> Self {
+        self.test_mode = test_mode;
+        self
     }
 
     /// Opens a named group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let samples = if self.default_samples == 0 {
+        let samples = if self.test_mode {
+            1
+        } else if self.default_samples == 0 {
             20
         } else {
             self.default_samples
@@ -194,6 +221,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             samples,
+            test_mode: self.test_mode,
             _parent: self,
         }
     }
@@ -203,13 +231,16 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = if self.default_samples == 0 {
+        let samples = if self.test_mode {
+            1
+        } else if self.default_samples == 0 {
             20
         } else {
             self.default_samples
         };
         let mut b = Bencher {
             samples,
+            warmup: !self.test_mode,
             results: Vec::new(),
         };
         f(&mut b);
@@ -258,6 +289,20 @@ mod tests {
         group.bench_function("count", |b| b.iter(|| runs += 1));
         // one warm-up + three samples
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_pins_every_benchmark_to_one_iteration() {
+        let mut c = Criterion::new().with_test_mode(true);
+        let mut runs = 0;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "ungrouped bench must run exactly once");
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50); // ignored in test mode
+        let mut grouped_runs = 0;
+        group.bench_function("once", |b| b.iter(|| grouped_runs += 1));
+        assert_eq!(grouped_runs, 1, "grouped bench must run exactly once");
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Fused collide–stream sweep (kernels 5+6 in one pass).
+//!
+//! The split schedule runs collision as a read-modify-write of all 19
+//! populations in `f` and then streams with a second full traversal that
+//! re-reads `f` and scatters into `f_new`. The fused sweep computes the
+//! BGK post-collision populations in registers and pushes them straight
+//! into `f_new` — periodic wrap and half-way bounce-back handled in the
+//! same inner loop — so the distribution array is touched twice per step
+//! (one read of `f`, one write of `f_new`) instead of four times.
+//!
+//! Because the register pipeline performs *exactly* the same f64
+//! arithmetic as [`crate::collision::bgk_collide_node`] followed by
+//! [`crate::boundary::stream_push_routed_node`], the fused plan is
+//! bit-identical to the split plan, not merely close. The only observable
+//! difference is that `f` is left holding pre-collision values — which no
+//! downstream kernel reads: the macroscopic update (kernel 7) reads
+//! `f_new`, and the buffer copy (kernel 9) overwrites `f` wholesale.
+
+use crate::boundary::{moving_wall_correction, BoundaryConfig, CoordRoute, StreamRouter};
+use crate::collision::bgk_collide_node;
+use crate::grid::{Dims, FluidGrid};
+use crate::lattice::Q;
+
+/// Collides one node's populations into a register block without writing
+/// them back: copies the node's Q-slice of `f` and applies the same BGK
+/// relaxation as [`bgk_collide_node`] (velocity-shift forcing — `ueq`
+/// already carries the force, so the Guo source term is zero).
+#[inline]
+pub fn collide_to_registers(f_node: &[f64], rho: f64, ueq: [f64; 3], tau: f64) -> [f64; Q] {
+    debug_assert_eq!(f_node.len(), Q);
+    let mut regs = [0.0; Q];
+    regs.copy_from_slice(f_node);
+    bgk_collide_node(&mut regs, rho, ueq, [0.0; 3], tau);
+    regs
+}
+
+/// Pushes a node's post-collision register block into `f_new`, mirroring
+/// [`crate::boundary::stream_push_routed_node`] arm for arm: periodic /
+/// interior directions write the neighbour's slot, wall crossings bounce
+/// back into the origin node's opposite slot with the moving-wall
+/// correction.
+#[inline]
+pub fn push_registers_node(
+    dims: Dims,
+    router: &StreamRouter,
+    regs: &[f64; Q],
+    f_new: &mut [f64],
+    node: usize,
+    x: usize,
+    y: usize,
+    z: usize,
+) {
+    f_new[node * Q] = regs[0];
+    for i in 1..Q {
+        let v = regs[i];
+        match router.route(x, y, z, i) {
+            CoordRoute::Neighbor(d) => {
+                let dst = (d[0] * dims.ny + d[1]) * dims.nz + d[2];
+                f_new[dst * Q + i] = v;
+            }
+            CoordRoute::BounceBack {
+                opposite,
+                wall_velocity,
+            } => {
+                f_new[node * Q + opposite] = v - moving_wall_correction(i, wall_velocity);
+            }
+        }
+    }
+}
+
+/// Fused collide+stream over one node: collision in registers, push into
+/// `f_new`. `f` is read-only — the post-collision values never land in it.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn fused_node(
+    dims: Dims,
+    router: &StreamRouter,
+    f: &[f64],
+    f_new: &mut [f64],
+    rho: f64,
+    ueq: [f64; 3],
+    tau: f64,
+    node: usize,
+    x: usize,
+    y: usize,
+    z: usize,
+) {
+    let regs = collide_to_registers(&f[node * Q..node * Q + Q], rho, ueq, tau);
+    push_registers_node(dims, router, &regs, f_new, node, x, y, z);
+}
+
+/// Whole-grid fused sweep using the stored macroscopic fields (`rho`,
+/// `ueqx..z`) exactly as the split kernels 5+6 would. After this call
+/// `f_new` equals what `collide`-then-`stream_push_bounded` would have
+/// produced, while `f` still holds the pre-collision populations.
+pub fn fused_collide_stream_grid(grid: &mut FluidGrid, bc: &BoundaryConfig, tau: f64) {
+    let dims = grid.dims;
+    let router = StreamRouter::new(dims, bc);
+    // Interior fast path: a node all of whose 18 neighbours are in-grid
+    // pushes with constant signed strides — no routing. The strided write
+    // targets the same slot `route` would produce, so bit-identity with
+    // the split schedule is preserved.
+    let mut strides = [0isize; Q];
+    for (i, s) in strides.iter_mut().enumerate() {
+        let e = crate::lattice::E[i];
+        *s = ((e[0] as isize * dims.ny as isize + e[1] as isize) * dims.nz as isize
+            + e[2] as isize)
+            * Q as isize;
+    }
+    let f = &grid.f;
+    let f_new = &mut grid.f_new;
+    for x in 0..dims.nx {
+        let x_in = x >= 1 && x + 2 <= dims.nx;
+        for y in 0..dims.ny {
+            let xy_in = x_in && y >= 1 && y + 2 <= dims.ny;
+            for z in 0..dims.nz {
+                let node = (x * dims.ny + y) * dims.nz + z;
+                let rho = grid.rho[node];
+                let ueq = [grid.ueqx[node], grid.ueqy[node], grid.ueqz[node]];
+                if xy_in && z >= 1 && z + 2 <= dims.nz {
+                    let regs = collide_to_registers(&f[node * Q..node * Q + Q], rho, ueq, tau);
+                    let base = (node * Q) as isize;
+                    f_new[node * Q] = regs[0];
+                    for i in 1..Q {
+                        f_new[(base + strides[i]) as usize + i] = regs[i];
+                    }
+                } else {
+                    fused_node(dims, &router, f, f_new, rho, ueq, tau, node, x, y, z);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::{stream_push_bounded, AxisBoundary};
+    use crate::equilibrium::feq;
+    use crate::macroscopic::update_velocity_shifted;
+    use proptest::prelude::*;
+
+    /// Builds a grid with a perturbed near-equilibrium state and matching
+    /// macroscopic fields, the way the solvers leave it before kernel 5.
+    fn perturbed_grid(dims: Dims, tau: f64, seed: u64) -> FluidGrid {
+        let mut g = FluidGrid::new(dims);
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for node in 0..g.n() {
+            for i in 0..Q {
+                g.f[node * Q + i] = feq(i, 1.0, [0.02, -0.01, 0.015]) * (1.0 + 0.05 * next());
+            }
+            g.fx[node] = 1e-4 * (next() - 0.5);
+            g.fy[node] = 1e-4 * (next() - 0.5);
+            g.fz[node] = 1e-4 * (next() - 0.5);
+        }
+        // Derive consistent rho / ueq fields from the perturbed state.
+        let f = g.f.clone();
+        g.f_new.copy_from_slice(&f);
+        update_velocity_shifted(&mut g, tau);
+        g
+    }
+
+    /// Split reference: kernel 5 (BGK toward feq(rho, ueq)) then kernel 6.
+    fn split_reference(grid: &mut FluidGrid, bc: &BoundaryConfig, tau: f64) {
+        for node in 0..grid.n() {
+            let rho = grid.rho[node];
+            let ueq = [grid.ueqx[node], grid.ueqy[node], grid.ueqz[node]];
+            let f = &mut grid.f[node * Q..node * Q + Q];
+            bgk_collide_node(f, rho, ueq, [0.0; 3], tau);
+        }
+        stream_push_bounded(grid, bc);
+    }
+
+    fn boundary_cases() -> Vec<BoundaryConfig> {
+        let walls = AxisBoundary::Walls {
+            lo: [0.0; 3],
+            hi: [0.0; 3],
+        };
+        let lid = AxisBoundary::Walls {
+            lo: [0.0; 3],
+            hi: [0.01, 0.0, 0.0],
+        };
+        vec![
+            BoundaryConfig::periodic(),
+            BoundaryConfig::tunnel(),
+            BoundaryConfig {
+                x: walls,
+                y: walls,
+                z: walls,
+            },
+            BoundaryConfig {
+                x: AxisBoundary::Periodic,
+                y: lid,
+                z: walls,
+            },
+        ]
+    }
+
+    #[test]
+    fn fused_is_bit_identical_to_split_one_sweep() {
+        let tau = 0.8;
+        for (case, bc) in boundary_cases().into_iter().enumerate() {
+            let dims = Dims::new(5, 4, 3);
+            let mut split = perturbed_grid(dims, tau, case as u64 + 1);
+            let mut fused = split.clone();
+            split_reference(&mut split, &bc, tau);
+            fused_collide_stream_grid(&mut fused, &bc, tau);
+            assert_eq!(
+                split.f_new, fused.f_new,
+                "case {case}: fused f_new must be bit-identical to split"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_leaves_f_untouched() {
+        let dims = Dims::new(4, 4, 4);
+        let tau = 0.9;
+        let g0 = perturbed_grid(dims, tau, 7);
+        let mut g = g0.clone();
+        fused_collide_stream_grid(&mut g, &BoundaryConfig::tunnel(), tau);
+        assert_eq!(g.f, g0.f, "fused sweep must not write the source buffer");
+    }
+
+    #[test]
+    fn collide_to_registers_matches_in_place_collision() {
+        let tau = 0.7;
+        let mut f = [0.0; Q];
+        for (i, v) in f.iter_mut().enumerate() {
+            *v = feq(i, 1.1, [0.01, 0.02, -0.03]) * (1.0 + 0.01 * i as f64);
+        }
+        let rho = 1.1;
+        let ueq = [0.012, 0.018, -0.031];
+        let regs = collide_to_registers(&f, rho, ueq, tau);
+        let mut reference = f;
+        bgk_collide_node(&mut reference, rho, ueq, [0.0; 3], tau);
+        assert_eq!(regs, reference);
+    }
+
+    proptest! {
+        /// Bit-identical to split over random shapes, boundary mixes and
+        /// repeated sweeps (with the kernel-7 + kernel-9 glue between
+        /// sweeps, like a real multi-step run).
+        #[test]
+        fn prop_fused_equals_split_multi_sweep(
+            nx in 2usize..6,
+            ny in 2usize..6,
+            nz in 2usize..6,
+            case in 0usize..4,
+            seed in 0u64..1000,
+        ) {
+            let dims = Dims::new(nx, ny, nz);
+            let tau = 0.75;
+            let bc = boundary_cases()[case];
+            let mut split = perturbed_grid(dims, tau, seed);
+            let mut fused = split.clone();
+            for sweep in 0..10 {
+                split_reference(&mut split, &bc, tau);
+                fused_collide_stream_grid(&mut fused, &bc, tau);
+                prop_assert_eq!(
+                    &split.f_new, &fused.f_new,
+                    "sweep {} diverged", sweep
+                );
+                for g in [&mut split, &mut fused] {
+                    update_velocity_shifted(g, tau);
+                    g.copy_distributions();
+                }
+            }
+        }
+    }
+}

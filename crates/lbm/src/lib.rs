@@ -34,6 +34,7 @@ pub mod collision;
 pub mod cube_grid;
 pub mod distribution;
 pub mod equilibrium;
+pub mod fused;
 pub mod grid;
 pub mod lattice;
 pub mod macroscopic;

@@ -9,7 +9,7 @@
 
 use lbm_ib::diagnostics::diagnostics;
 use lbm_ib::output::dump_sheet_snapshot;
-use lbm_ib::{OpenMpSolver, SheetConfig, SimulationConfig, TetherConfig};
+use lbm_ib::{build_solver, SheetConfig, SimState, SimulationConfig, Solver, TetherConfig};
 
 fn main() {
     let steps: u64 = std::env::args()
@@ -39,25 +39,26 @@ fn main() {
     std::fs::create_dir_all(out_dir).expect("create output dir");
 
     println!("Figure 1 scenario: plate fastened in the middle ({steps} steps)");
-    let mut solver = OpenMpSolver::new(config, 2);
+    let mut solver: Box<dyn Solver> =
+        build_solver("omp", SimState::new(config), 2).expect("solver");
 
     let sample_every = (steps / 12).max(1);
     let mut snapshot = 0;
     let mut done = 0;
     while done < steps {
         let n = sample_every.min(steps - done);
-        solver.run(n);
-        done += n;
-        let d = diagnostics(&solver.state);
+        done += solver.run(n).expect("run").steps;
+        let state = solver.to_state();
+        let d = diagnostics(&state);
         println!("{}", d.summary());
         assert!(!d.nan_detected, "simulation blew up");
-        dump_sheet_snapshot(&solver.state, out_dir, snapshot).unwrap();
+        dump_sheet_snapshot(&state, out_dir, snapshot).unwrap();
         snapshot += 1;
     }
 
     // Deformation report: the tethered core must stay near its anchors
     // while the free rim is pushed downstream and bends.
-    let state = &solver.state;
+    let state = &solver.to_state();
     let anchors_excursion = state.tethers.max_excursion(&state.sheet);
     let (lo, hi) = state.sheet.bounding_box();
     let bow = hi[0] - lo[0]; // how far the plate bowed along the flow

@@ -1,24 +1,28 @@
-//! Quickstart: the smallest end-to-end LBM-IB simulation.
+//! Quickstart: the smallest end-to-end LBM-IB simulation, driven through
+//! the unified [`Solver`] trait.
 //!
 //! A flexible 8×8-node sheet is placed in a small periodic-x tunnel, the
-//! flow is driven by a uniform body force, and all three solvers advance
-//! the same configuration. The example prints diagnostics as the sheet is
-//! carried downstream and verifies the parallel solvers against the
-//! sequential one — the same check the paper performed for every result.
+//! flow is driven by a uniform body force, and all four solvers advance
+//! the same configuration behind `Box<dyn Solver>`. The example prints
+//! diagnostics as the sheet is carried downstream and verifies every
+//! parallel solver against the sequential one — the same check the paper
+//! performed for every result — plus the fused-vs-split kernel-plan
+//! cross-check.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use lbm_ib::diagnostics::diagnostics;
-use lbm_ib::verify::compare_states;
-use lbm_ib::{CubeSolver, OpenMpSolver, SequentialSolver, SimulationConfig};
+use lbm_ib::verify::{compare_states, cross_check};
+use lbm_ib::{build_solver, SimState, SimulationConfig, Solver};
 
 fn main() {
     // 1. Configure: a 24x16x16 tunnel with a small driving force and an
-    //    8x8 fiber sheet. `quick_test` is the library's smallest sane
-    //    preset; any field can be overridden.
-    let mut config = SimulationConfig::quick_test();
-    config.body_force = [4e-6, 0.0, 0.0];
-    config.validate().expect("configuration is sane");
+    //    8x8 fiber sheet. The builder validates at `build()`; any field
+    //    can be overridden first.
+    let config = SimulationConfig::builder()
+        .body_force([4e-6, 0.0, 0.0])
+        .build()
+        .expect("configuration is sane");
 
     println!("LBM-IB quickstart");
     println!(
@@ -31,39 +35,42 @@ fn main() {
         config.tau
     );
 
-    // 2. Simulate with the sequential solver, printing diagnostics.
-    let mut seq = SequentialSolver::new(config);
+    // 2. Simulate with the sequential solver behind the trait, printing
+    //    diagnostics. `run` reports steps and wall time.
+    let mut seq: Box<dyn Solver> =
+        build_solver("seq", SimState::new(config), 1).expect("sequential solver");
     let steps = 60;
-    for chunk in 0..6 {
-        seq.run(steps / 6);
-        let d = diagnostics(&seq.state);
-        println!("{}", d.summary());
-        let _ = chunk;
+    let mut report = lbm_ib::RunReport::default();
+    for _ in 0..6 {
+        report.merge(seq.run(steps / 6).expect("run"));
+        println!("{}", diagnostics(&seq.to_state()).summary());
     }
+    println!(
+        "{} steps in {:.1} ms",
+        report.steps,
+        report.wall.as_secs_f64() * 1e3
+    );
 
     // 3. The built-in profiler reproduces the paper's Table I layout.
     println!("\nper-kernel profile (Table I layout):");
-    print!("{}", seq.profile.table());
+    print!("{}", seq.profile().expect("seq profiles").table());
 
-    // 4. Run the two parallel solvers on the same configuration and verify
-    //    they produce the same physics.
-    let mut omp = OpenMpSolver::new(config, 4);
-    omp.run(steps);
-    let mut cube = CubeSolver::new(config, 4);
-    cube.run(steps);
-
-    let omp_diff = compare_states(&seq.state, &omp.state);
-    let cube_diff = compare_states(&seq.state, &cube.to_state());
+    // 4. Run the parallel solvers on the same configuration — same trait,
+    //    different name — and verify they produce the same physics.
+    let reference = seq.to_state();
     println!("\nverification against the sequential solver after {steps} steps:");
-    println!(
-        "  OpenMP-style (4 threads): max |Δ| = {:.3e}",
-        omp_diff.worst()
-    );
-    println!(
-        "  cube-centric (4 threads): max |Δ| = {:.3e}",
-        cube_diff.worst()
-    );
-    assert!(omp_diff.within(1e-10), "OpenMP solver diverged");
-    assert!(cube_diff.within(1e-10), "cube solver diverged");
-    println!("all solvers agree ✓");
+    for kind in ["omp", "cube", "dist"] {
+        let mut solver = build_solver(kind, SimState::new(config), 4).expect("solver");
+        solver.run(steps).expect("run");
+        let diff = compare_states(&reference, &solver.to_state());
+        println!("  {:<4} (4 threads): max |Δ| = {:.3e}", kind, diff.worst());
+        assert!(diff.within(1e-10), "{kind} solver diverged");
+    }
+
+    // 5. The fused collide–stream plan must match the split plan on every
+    //    solver — it performs the same arithmetic in one sweep.
+    for (kind, diff) in cross_check(config, 10, 4) {
+        assert!(diff.within(1e-12), "{kind}: fused plan diverged");
+    }
+    println!("all solvers agree, split and fused ✓");
 }

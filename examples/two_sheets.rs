@@ -17,10 +17,9 @@ use ib::interp;
 use ib::sheet::FiberSheet;
 use ib::spread;
 use ib::tether::TetherSet;
-use lbm::boundary::{add_uniform_body_force, stream_push_bounded, BoundaryConfig};
-use lbm::collision::bgk_collide_node;
+use lbm::boundary::{add_uniform_body_force, BoundaryConfig};
+use lbm::fused::fused_collide_stream_grid;
 use lbm::grid::{Dims, FluidGrid};
-use lbm::lattice::Q;
 use lbm::macroscopic::{initialize_equilibrium, update_velocity_shifted};
 
 const TAU: f64 = 0.8;
@@ -87,20 +86,10 @@ fn main() {
         for body in &bodies {
             spread::spread_forces(&body.sheet, delta, dims, &bc, &mut fluid);
         }
-        // Kernel 5: collision toward the shift-velocity equilibrium.
-        for node in 0..fluid.n() {
-            let ueq = [fluid.ueqx[node], fluid.ueqy[node], fluid.ueqz[node]];
-            let rho = fluid.rho[node];
-            bgk_collide_node(
-                &mut fluid.f[node * Q..node * Q + Q],
-                rho,
-                ueq,
-                [0.0; 3],
-                TAU,
-            );
-        }
-        // Kernels 6, 7.
-        stream_push_bounded(&mut fluid, &bc);
+        // Kernels 5+6 as one fused sweep: collision in registers toward
+        // the shift-velocity equilibrium, pushed straight into f_new.
+        fused_collide_stream_grid(&mut fluid, &bc, TAU);
+        // Kernel 7.
         update_velocity_shifted(&mut fluid, TAU);
         // Kernel 8 per body.
         for body in bodies.iter_mut() {

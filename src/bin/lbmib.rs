@@ -1,10 +1,12 @@
 //! `lbmib` — command-line driver for the LBM-IB library.
 //!
 //! Runs a coupled fluid–structure simulation from flags, with any of the
-//! three solvers, periodic progress reports, and optional CSV/VTK output.
+//! four solvers behind the [`lbm_ib::Solver`] trait, periodic progress
+//! reports, and optional CSV/VTK output.
 //!
 //! ```text
-//! lbmib [--solver seq|omp|cube|dist] [--preset quick|table1|fig8] [--cores N]
+//! lbmib [--solver seq|omp|cube|dist] [--plan split|fused]
+//!       [--preset quick|table1|fig8] [--cores N]
 //!       [--steps N] [--threads N] [--nx N --ny N --nz N] [--tau T]
 //!       [--gx G] [--sheet N] [--sheet-extent E] [--tether none|center|edge]
 //!       [--cube-k K] [--out DIR] [--report-every N] [--profile]
@@ -23,52 +25,11 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
 
+use lbm_ib::config::KernelPlan;
 use lbm_ib::diagnostics::diagnostics;
 use lbm_ib::output::{append_trajectory_row, dump_sheet_snapshot, trajectory_header};
-use lbm_ib::{
-    CubeSolver, DistributedSolver, OpenMpSolver, SequentialSolver, SheetConfig, SimState,
-    SimulationConfig, TetherConfig,
-};
+use lbm_ib::{build_solver, SheetConfig, SimState, SimulationConfig, Solver, TetherConfig};
 use lbm_ib_bench::Args;
-
-/// The solver selected on the command line.
-enum Solver {
-    Seq(SequentialSolver),
-    Omp(OpenMpSolver),
-    Cube(CubeSolver),
-    Dist(DistributedSolver),
-}
-
-impl Solver {
-    fn run(&mut self, n: u64) {
-        match self {
-            Solver::Seq(s) => s.run(n),
-            Solver::Omp(s) => s.run(n),
-            Solver::Cube(s) => s.run(n),
-            Solver::Dist(s) => s.run(n),
-        }
-    }
-
-    fn state(&self) -> SimState {
-        match self {
-            Solver::Seq(s) => s.state.clone(),
-            Solver::Omp(s) => s.state.clone(),
-            Solver::Cube(s) => s.to_state(),
-            Solver::Dist(s) => s.to_state(),
-        }
-    }
-
-    fn profile_table(&self) -> String {
-        match self {
-            Solver::Seq(s) => s.profile.table(),
-            Solver::Omp(s) => s.profile.table(),
-            Solver::Cube(s) => s.profile.table(),
-            Solver::Dist(_) => {
-                "(no per-kernel profile for the distributed prototype)\n".to_string()
-            }
-        }
-    }
-}
 
 fn build_config(args: &Args) -> SimulationConfig {
     let mut config = match args.get::<String>("preset").as_deref() {
@@ -108,6 +69,14 @@ fn build_config(args: &Args) -> SimulationConfig {
             ],
         );
     }
+    config.plan = match args.get::<String>("plan").as_deref() {
+        Some("fused") => KernelPlan::Fused,
+        Some("split") | None => KernelPlan::Split,
+        Some(other) => {
+            eprintln!("error: unknown plan '{other}' (expected split|fused)");
+            std::process::exit(1);
+        }
+    };
     config.sheet.tether = match args.get::<String>("tether").as_deref() {
         Some("center") => TetherConfig::CenterRegion {
             radius: args.get_or("tether-radius", 3.0),
@@ -162,7 +131,7 @@ fn main() {
     }
 
     println!(
-        "lbmib: {}x{}x{} fluid, {}x{} sheet, tau {}, solver {}, {} threads, {} steps",
+        "lbmib: {}x{}x{} fluid, {}x{} sheet, tau {}, solver {}, plan {:?}, {} threads, {} steps",
         config.nx,
         config.ny,
         config.nz,
@@ -170,24 +139,21 @@ fn main() {
         config.sheet.nodes_per_fiber,
         config.tau,
         solver_name,
+        config.plan,
         if solver_name == "seq" { 1 } else { threads },
         steps
     );
 
-    let initial_state = resumed_state.unwrap_or_else(|| SimState::new(config));
+    let mut initial_state = resumed_state.unwrap_or_else(|| SimState::new(config));
+    initial_state.config.plan = config.plan; // resumed checkpoints default to Split
     if initial_state.step > 0 {
         println!("resumed at step {}", initial_state.step);
     }
-    let mut solver = match solver_name.as_str() {
-        "seq" => Solver::Seq(SequentialSolver::from_state(initial_state)),
-        "omp" => Solver::Omp(OpenMpSolver::from_state(initial_state, threads)),
-        "cube" => Solver::Cube(CubeSolver::from_state(initial_state, threads)),
-        "dist" => Solver::Dist(DistributedSolver::from_state(initial_state, threads)),
-        other => {
-            eprintln!("error: unknown solver '{other}' (expected seq|omp|cube|dist)");
+    let mut solver: Box<dyn Solver> = build_solver(&solver_name, initial_state, threads)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
             std::process::exit(1);
-        }
-    };
+        });
 
     let out_dir: Option<PathBuf> = args.get::<String>("out").map(PathBuf::from);
     let mut traj = out_dir.as_ref().map(|dir| {
@@ -198,15 +164,17 @@ fn main() {
     });
 
     let report_every: u64 = args.get_or("report-every", (steps / 10).max(1));
-    let t0 = std::time::Instant::now();
-    let mut done = 0u64;
+    let mut report = lbm_ib::RunReport::default();
     let mut snapshot = 0usize;
-    let initial_mass = diagnostics(&solver.state()).mass;
-    while done < steps {
-        let n = report_every.min(steps - done);
-        solver.run(n);
-        done += n;
-        let state = solver.state();
+    let initial_mass = diagnostics(&solver.to_state()).mass;
+    while report.steps < steps {
+        let n = report_every.min(steps - report.steps);
+        let chunk = solver.run(n).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        report.merge(chunk);
+        let state = solver.to_state();
         let d = diagnostics(&state);
         println!("{}", d.summary());
         if let Err(e) = d.check_stability(initial_mass) {
@@ -219,11 +187,12 @@ fn main() {
             snapshot += 1;
         }
     }
-    let wall = t0.elapsed().as_secs_f64();
-    let state = solver.state();
+    let wall = report.wall.as_secs_f64();
+    let state = solver.to_state();
     println!(
-        "\ncompleted {steps} steps in {wall:.2} s ({:.1} Mnode-updates/s)",
-        steps as f64 * state.fluid.n() as f64 / wall / 1e6
+        "\ncompleted {} steps in {wall:.2} s ({:.1} Mnode-updates/s)",
+        report.steps,
+        report.steps as f64 * state.fluid.n() as f64 / wall / 1e6
     );
 
     if let Some(path) = args.get::<String>("save") {
@@ -232,7 +201,10 @@ fn main() {
     }
     if args.flag("profile") {
         println!("\nper-kernel profile:");
-        print!("{}", solver.profile_table());
+        match solver.profile() {
+            Some(p) => print!("{}", p.table()),
+            None => println!("(no per-kernel profile for the distributed prototype)"),
+        }
     }
     if let Some(dir) = out_dir {
         println!("output written to {}", dir.display());

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_vs_split-34a36c7a1802844b.d: crates/bench/benches/fused_vs_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_vs_split-34a36c7a1802844b.rmeta: crates/bench/benches/fused_vs_split.rs Cargo.toml
+
+crates/bench/benches/fused_vs_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

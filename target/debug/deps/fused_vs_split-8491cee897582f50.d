@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_vs_split-8491cee897582f50.d: crates/bench/src/bin/fused_vs_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_vs_split-8491cee897582f50.rmeta: crates/bench/src/bin/fused_vs_split.rs Cargo.toml
+
+crates/bench/src/bin/fused_vs_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

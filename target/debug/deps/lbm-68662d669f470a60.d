@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/lbm-68662d669f470a60.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs Cargo.toml
+/root/repo/target/debug/deps/lbm-68662d669f470a60.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblbm-68662d669f470a60.rmeta: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs Cargo.toml
+/root/repo/target/debug/deps/liblbm-68662d669f470a60.rmeta: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs Cargo.toml
 
 crates/lbm/src/lib.rs:
 crates/lbm/src/analytic.rs:
@@ -9,6 +9,7 @@ crates/lbm/src/collision.rs:
 crates/lbm/src/cube_grid.rs:
 crates/lbm/src/distribution.rs:
 crates/lbm/src/equilibrium.rs:
+crates/lbm/src/fused.rs:
 crates/lbm/src/grid.rs:
 crates/lbm/src/lattice.rs:
 crates/lbm/src/macroscopic.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/lbm-dab3c3306136ef00.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+/root/repo/target/debug/deps/lbm-dab3c3306136ef00.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
 
-/root/repo/target/debug/deps/liblbm-dab3c3306136ef00.rlib: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+/root/repo/target/debug/deps/liblbm-dab3c3306136ef00.rlib: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
 
-/root/repo/target/debug/deps/liblbm-dab3c3306136ef00.rmeta: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+/root/repo/target/debug/deps/liblbm-dab3c3306136ef00.rmeta: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
 
 crates/lbm/src/lib.rs:
 crates/lbm/src/analytic.rs:
@@ -11,6 +11,7 @@ crates/lbm/src/collision.rs:
 crates/lbm/src/cube_grid.rs:
 crates/lbm/src/distribution.rs:
 crates/lbm/src/equilibrium.rs:
+crates/lbm/src/fused.rs:
 crates/lbm/src/grid.rs:
 crates/lbm/src/lattice.rs:
 crates/lbm/src/macroscopic.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/lbm_ib-eba3951324218b7b.d: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
+/root/repo/target/debug/deps/lbm_ib-eba3951324218b7b.d: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
 
-/root/repo/target/debug/deps/lbm_ib-eba3951324218b7b: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
+/root/repo/target/debug/deps/lbm_ib-eba3951324218b7b: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
 
 crates/core/src/lib.rs:
 crates/core/src/atomicf64.rs:
@@ -16,6 +16,7 @@ crates/core/src/output.rs:
 crates/core/src/profiling.rs:
 crates/core/src/sequential.rs:
 crates/core/src/sharedgrid.rs:
+crates/core/src/solver.rs:
 crates/core/src/state.rs:
 crates/core/src/sync_shim.rs:
 crates/core/src/threadpool.rs:

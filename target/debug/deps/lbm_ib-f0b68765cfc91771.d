@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/lbm_ib-f0b68765cfc91771.d: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/racecheck.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/lbm_ib-f0b68765cfc91771.d: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/racecheck.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblbm_ib-f0b68765cfc91771.rmeta: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/racecheck.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/liblbm_ib-f0b68765cfc91771.rmeta: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/racecheck.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/atomicf64.rs:
@@ -17,6 +17,7 @@ crates/core/src/profiling.rs:
 crates/core/src/racecheck.rs:
 crates/core/src/sequential.rs:
 crates/core/src/sharedgrid.rs:
+crates/core/src/solver.rs:
 crates/core/src/state.rs:
 crates/core/src/sync_shim.rs:
 crates/core/src/threadpool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1448f5a99f20e68d.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1448f5a99f20e68d.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1448f5a99f20e68d.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-a2fc70412bf465ee.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-a2fc70412bf465ee: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

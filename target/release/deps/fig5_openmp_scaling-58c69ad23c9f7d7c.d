@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_openmp_scaling-58c69ad23c9f7d7c.d: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+/root/repo/target/release/deps/fig5_openmp_scaling-58c69ad23c9f7d7c: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+crates/bench/src/bin/fig5_openmp_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_openmp_scaling-93c88725f35d3338.d: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+/root/repo/target/release/deps/fig5_openmp_scaling-93c88725f35d3338: crates/bench/src/bin/fig5_openmp_scaling.rs
+
+crates/bench/src/bin/fig5_openmp_scaling.rs:

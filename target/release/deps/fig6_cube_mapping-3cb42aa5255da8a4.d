@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_cube_mapping-3cb42aa5255da8a4.d: crates/bench/src/bin/fig6_cube_mapping.rs
+
+/root/repo/target/release/deps/fig6_cube_mapping-3cb42aa5255da8a4: crates/bench/src/bin/fig6_cube_mapping.rs
+
+crates/bench/src/bin/fig6_cube_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_cube_mapping-b96ebd81215c0583.d: crates/bench/src/bin/fig6_cube_mapping.rs
+
+/root/repo/target/release/deps/fig6_cube_mapping-b96ebd81215c0583: crates/bench/src/bin/fig6_cube_mapping.rs
+
+crates/bench/src/bin/fig6_cube_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_weak_scaling-a24a41d875c43beb.d: crates/bench/src/bin/fig8_weak_scaling.rs
+
+/root/repo/target/release/deps/fig8_weak_scaling-a24a41d875c43beb: crates/bench/src/bin/fig8_weak_scaling.rs
+
+crates/bench/src/bin/fig8_weak_scaling.rs:

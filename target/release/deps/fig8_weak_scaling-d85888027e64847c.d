@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_weak_scaling-d85888027e64847c.d: crates/bench/src/bin/fig8_weak_scaling.rs
+
+/root/repo/target/release/deps/fig8_weak_scaling-d85888027e64847c: crates/bench/src/bin/fig8_weak_scaling.rs
+
+crates/bench/src/bin/fig8_weak_scaling.rs:

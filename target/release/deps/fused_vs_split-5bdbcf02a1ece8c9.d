@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fused_vs_split-5bdbcf02a1ece8c9.d: crates/bench/src/bin/fused_vs_split.rs
+
+/root/repo/target/release/deps/fused_vs_split-5bdbcf02a1ece8c9: crates/bench/src/bin/fused_vs_split.rs
+
+crates/bench/src/bin/fused_vs_split.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fused_vs_split-8726fb6a1ebc7d88.d: crates/bench/benches/fused_vs_split.rs
+
+/root/repo/target/release/deps/fused_vs_split-8726fb6a1ebc7d88: crates/bench/benches/fused_vs_split.rs
+
+crates/bench/benches/fused_vs_split.rs:

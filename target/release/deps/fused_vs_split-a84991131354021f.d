@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fused_vs_split-a84991131354021f.d: crates/bench/src/bin/fused_vs_split.rs
+
+/root/repo/target/release/deps/fused_vs_split-a84991131354021f: crates/bench/src/bin/fused_vs_split.rs
+
+crates/bench/src/bin/fused_vs_split.rs:

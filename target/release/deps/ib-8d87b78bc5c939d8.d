@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ib-8d87b78bc5c939d8.d: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+/root/repo/target/release/deps/ib-8d87b78bc5c939d8: crates/ib/src/lib.rs crates/ib/src/delta.rs crates/ib/src/forces.rs crates/ib/src/interp.rs crates/ib/src/sheet.rs crates/ib/src/spread.rs crates/ib/src/tether.rs
+
+crates/ib/src/lib.rs:
+crates/ib/src/delta.rs:
+crates/ib/src/forces.rs:
+crates/ib/src/interp.rs:
+crates/ib/src/sheet.rs:
+crates/ib/src/spread.rs:
+crates/ib/src/tether.rs:

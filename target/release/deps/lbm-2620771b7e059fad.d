@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/lbm-2620771b7e059fad.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+/root/repo/target/release/deps/lbm-2620771b7e059fad.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
 
-/root/repo/target/release/deps/liblbm-2620771b7e059fad.rlib: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+/root/repo/target/release/deps/liblbm-2620771b7e059fad.rlib: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
 
-/root/repo/target/release/deps/liblbm-2620771b7e059fad.rmeta: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+/root/repo/target/release/deps/liblbm-2620771b7e059fad.rmeta: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
 
 crates/lbm/src/lib.rs:
 crates/lbm/src/analytic.rs:
@@ -11,6 +11,7 @@ crates/lbm/src/collision.rs:
 crates/lbm/src/cube_grid.rs:
 crates/lbm/src/distribution.rs:
 crates/lbm/src/equilibrium.rs:
+crates/lbm/src/fused.rs:
 crates/lbm/src/grid.rs:
 crates/lbm/src/lattice.rs:
 crates/lbm/src/macroscopic.rs:

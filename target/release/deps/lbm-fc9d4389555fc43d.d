@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/lbm-fc9d4389555fc43d.d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+
+/root/repo/target/release/deps/lbm-fc9d4389555fc43d: crates/lbm/src/lib.rs crates/lbm/src/analytic.rs crates/lbm/src/boundary.rs crates/lbm/src/collision.rs crates/lbm/src/cube_grid.rs crates/lbm/src/distribution.rs crates/lbm/src/equilibrium.rs crates/lbm/src/fused.rs crates/lbm/src/grid.rs crates/lbm/src/lattice.rs crates/lbm/src/macroscopic.rs crates/lbm/src/observables.rs crates/lbm/src/stepper.rs crates/lbm/src/streaming.rs crates/lbm/src/units.rs
+
+crates/lbm/src/lib.rs:
+crates/lbm/src/analytic.rs:
+crates/lbm/src/boundary.rs:
+crates/lbm/src/collision.rs:
+crates/lbm/src/cube_grid.rs:
+crates/lbm/src/distribution.rs:
+crates/lbm/src/equilibrium.rs:
+crates/lbm/src/fused.rs:
+crates/lbm/src/grid.rs:
+crates/lbm/src/lattice.rs:
+crates/lbm/src/macroscopic.rs:
+crates/lbm/src/observables.rs:
+crates/lbm/src/stepper.rs:
+crates/lbm/src/streaming.rs:
+crates/lbm/src/units.rs:

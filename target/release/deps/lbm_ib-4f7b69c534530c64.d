@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/lbm_ib-4f7b69c534530c64.d: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
+/root/repo/target/release/deps/lbm_ib-4f7b69c534530c64.d: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
 
-/root/repo/target/release/deps/liblbm_ib-4f7b69c534530c64.rlib: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
+/root/repo/target/release/deps/liblbm_ib-4f7b69c534530c64.rlib: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
 
-/root/repo/target/release/deps/liblbm_ib-4f7b69c534530c64.rmeta: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
+/root/repo/target/release/deps/liblbm_ib-4f7b69c534530c64.rmeta: crates/core/src/lib.rs crates/core/src/atomicf64.rs crates/core/src/barrier.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/cube.rs crates/core/src/diagnostics.rs crates/core/src/distributed.rs crates/core/src/kernels.rs crates/core/src/openmp.rs crates/core/src/output.rs crates/core/src/profiling.rs crates/core/src/sequential.rs crates/core/src/sharedgrid.rs crates/core/src/solver.rs crates/core/src/state.rs crates/core/src/sync_shim.rs crates/core/src/threadpool.rs crates/core/src/tuning.rs crates/core/src/verify.rs
 
 crates/core/src/lib.rs:
 crates/core/src/atomicf64.rs:
@@ -18,6 +18,7 @@ crates/core/src/output.rs:
 crates/core/src/profiling.rs:
 crates/core/src/sequential.rs:
 crates/core/src/sharedgrid.rs:
+crates/core/src/solver.rs:
 crates/core/src/state.rs:
 crates/core/src/sync_shim.rs:
 crates/core/src/threadpool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lbm_ib_bench-bb91d9b4aeddf20b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/lbm_ib_bench-bb91d9b4aeddf20b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom-cc06764cd45198ed.d: crates/core/tests/loom.rs
+
+/root/repo/target/release/deps/loom-cc06764cd45198ed: crates/core/tests/loom.rs
+
+crates/core/tests/loom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-eda75b5f3b6b1b65.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-eda75b5f3b6b1b65: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/racecheck-e3c03b937cedd259.d: crates/core/tests/racecheck.rs
+
+/root/repo/target/release/deps/racecheck-e3c03b937cedd259: crates/core/tests/racecheck.rs
+
+crates/core/tests/racecheck.rs:

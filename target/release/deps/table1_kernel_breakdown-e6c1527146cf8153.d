@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_kernel_breakdown-e6c1527146cf8153.d: crates/bench/src/bin/table1_kernel_breakdown.rs
+
+/root/repo/target/release/deps/table1_kernel_breakdown-e6c1527146cf8153: crates/bench/src/bin/table1_kernel_breakdown.rs
+
+crates/bench/src/bin/table1_kernel_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_locality-25a7e7d8ddc1b014.d: crates/bench/src/bin/table2_locality.rs
+
+/root/repo/target/release/deps/table2_locality-25a7e7d8ddc1b014: crates/bench/src/bin/table2_locality.rs
+
+crates/bench/src/bin/table2_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_locality-59a4a8a73e57d015.d: crates/bench/src/bin/table2_locality.rs
+
+/root/repo/target/release/deps/table2_locality-59a4a8a73e57d015: crates/bench/src/bin/table2_locality.rs
+
+crates/bench/src/bin/table2_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_system_info-a8e432e57a814f8a.d: crates/bench/src/bin/table3_system_info.rs
+
+/root/repo/target/release/deps/table3_system_info-a8e432e57a814f8a: crates/bench/src/bin/table3_system_info.rs
+
+crates/bench/src/bin/table3_system_info.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_system_info-d856bfa15d34dc97.d: crates/bench/src/bin/table3_system_info.rs
+
+/root/repo/target/release/deps/table3_system_info-d856bfa15d34dc97: crates/bench/src/bin/table3_system_info.rs
+
+crates/bench/src/bin/table3_system_info.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-4337f70da846bdca.d: crates/cachesim/examples/probe.rs
+
+/root/repo/target/release/examples/probe-4337f70da846bdca: crates/cachesim/examples/probe.rs
+
+crates/cachesim/examples/probe.rs:

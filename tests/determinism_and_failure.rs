@@ -62,21 +62,34 @@ fn solver_state_survives_team_relaunch() {
 
 #[test]
 fn invalid_configs_are_rejected_with_reasons() {
+    use lbm_ib::ConfigError;
+
     let mut c = cfg();
     c.tau = 0.3;
-    assert!(c.validate().unwrap_err().0.contains("tau"));
+    let e = c.validate().unwrap_err();
+    assert!(matches!(e, ConfigError::InvalidTau { .. }), "{e}");
+    assert!(e.to_string().contains("tau"));
 
     let mut c = cfg();
     c.cube_k = 7;
-    assert!(c.validate().unwrap_err().0.contains("divide"));
+    let e = c.validate().unwrap_err();
+    assert!(
+        matches!(e, ConfigError::DimNotDivisibleByCube { .. }),
+        "{e}"
+    );
+    assert!(e.to_string().contains("divide"));
 
     let mut c = cfg();
     c.sheet.center = [8.0, 1.0, 8.0];
-    assert!(c.validate().unwrap_err().0.contains("wall"));
+    let e = c.validate().unwrap_err();
+    assert!(matches!(e, ConfigError::SheetNearWall { .. }), "{e}");
+    assert!(e.to_string().contains("wall"));
 
     let mut c = cfg();
     c.body_force = [1.0, 0.0, 0.0];
-    assert!(c.validate().unwrap_err().0.contains("unstable"));
+    let e = c.validate().unwrap_err();
+    assert!(matches!(e, ConfigError::UnstableBodyForce { .. }), "{e}");
+    assert!(e.to_string().contains("unstable"));
 
     let mut c = cfg();
     c.sheet.num_fibers = 1;
