@@ -98,6 +98,16 @@ impl PhaseBarrier {
             PhaseBarrier::Std(b) => b.wait().is_leader(),
         }
     }
+
+    /// [`PhaseBarrier::wait`] plus the time this thread spent inside the
+    /// wait — the telemetry probe for the paper's three-barriers-per-step
+    /// overhead. The timing is per-caller: the last arriver (the leader)
+    /// measures ~0, the first arriver measures the full straggler gap.
+    pub fn wait_timed(&self) -> (bool, std::time::Duration) {
+        let t0 = std::time::Instant::now();
+        let leader = self.wait();
+        (leader, t0.elapsed())
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +187,23 @@ mod tests {
             }
         });
         assert_eq!(leaders.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn wait_timed_reports_leader_and_duration() {
+        let b = PhaseBarrier::new(BarrierKind::Spin, 2);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| b.wait_timed());
+            // Give the waiter a head start so it measurably blocks.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let (_, releaser_wait) = b.wait_timed();
+            let (_, waited) = waiter.join().unwrap();
+            assert!(
+                waited >= std::time::Duration::from_millis(5),
+                "first arriver should have blocked, waited {waited:?}"
+            );
+            assert!(releaser_wait < waited);
+        });
     }
 
     #[test]

@@ -23,6 +23,26 @@ use crate::state::SimState;
 const MAGIC: &[u8; 8] = b"LBMIB\0\0\x01";
 const VERSION: u64 = 1;
 
+/// Sanity bounds on header dimensions, checked **before** any allocation
+/// sized from them. A corrupt or hostile header used to drive
+/// `FluidGrid::new(nx * ny * nz)` directly: `u64::MAX` extents overflowed
+/// the product (a panic in debug builds, an absurd allocation in release).
+const MAX_EXTENT: u64 = 1 << 16;
+const MAX_GRID_NODES: u64 = 1 << 31;
+const MAX_FIBER_COUNT: u64 = 1 << 20;
+const MAX_NODES_PER_FIBER: u64 = 1 << 20;
+const MAX_SHEET_NODES: u64 = 1 << 26;
+
+/// Rejects zero or out-of-bounds header dimensions with a format error.
+fn bounded(v: u64, max: u64, what: &str) -> Result<usize, CheckpointError> {
+    if v == 0 || v > max {
+        return Err(CheckpointError::Format(format!(
+            "{what} = {v} outside sane range 1..={max}"
+        )));
+    }
+    Ok(v as usize)
+}
+
 /// Errors from loading a checkpoint.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -275,9 +295,15 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
         return Err(CheckpointError::Format("unsupported version".into()));
     }
 
-    let nx = d.u64()? as usize;
-    let ny = d.u64()? as usize;
-    let nz = d.u64()? as usize;
+    let nx = bounded(d.u64()?, MAX_EXTENT, "nx")?;
+    let ny = bounded(d.u64()?, MAX_EXTENT, "ny")?;
+    let nz = bounded(d.u64()?, MAX_EXTENT, "nz")?;
+    let grid_nodes = (nx as u64) * (ny as u64) * (nz as u64);
+    if grid_nodes > MAX_GRID_NODES {
+        return Err(CheckpointError::Format(format!(
+            "grid {nx}x{ny}x{nz} has {grid_nodes} nodes, limit {MAX_GRID_NODES}"
+        )));
+    }
     let tau = d.f64()?;
     let body_force = [d.f64()?, d.f64()?, d.f64()?];
     let bc = BoundaryConfig {
@@ -287,8 +313,14 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
     };
     let delta = delta_from(d.u64()?)?;
     let cube_k = d.u64()? as usize;
-    let num_fibers = d.u64()? as usize;
-    let nodes_per_fiber = d.u64()? as usize;
+    let num_fibers = bounded(d.u64()?, MAX_FIBER_COUNT, "num_fibers")?;
+    let nodes_per_fiber = bounded(d.u64()?, MAX_NODES_PER_FIBER, "nodes_per_fiber")?;
+    let sheet_nodes = (num_fibers as u64) * (nodes_per_fiber as u64);
+    if sheet_nodes > MAX_SHEET_NODES {
+        return Err(CheckpointError::Format(format!(
+            "sheet {num_fibers}x{nodes_per_fiber} has {sheet_nodes} nodes, limit {MAX_SHEET_NODES}"
+        )));
+    }
     let width = d.f64()?;
     let height = d.f64()?;
     let center = [d.f64()?, d.f64()?, d.f64()?];
@@ -324,9 +356,11 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
             tether,
         },
         cube_k,
-        // The kernel plan is a runtime execution choice, not physics: a
-        // resumed run uses whatever plan the caller configures.
+        // The kernel plan and watchdog cadence are runtime execution
+        // choices, not physics: a resumed run uses whatever the caller
+        // configures.
         plan: crate::config::KernelPlan::Split,
+        watchdog: None,
     };
     config
         .validate()
@@ -498,6 +532,99 @@ mod tests {
         match read_checkpoint(&buf[..]) {
             Err(CheckpointError::Format(m)) => assert!(m.contains("guard")),
             other => panic!("expected guard failure, got {other:?}"),
+        }
+    }
+
+    /// Little-endian u64 patch helper for header-corruption tests.
+    fn patch_u64(buf: &mut [u8], offset: usize, value: u64) {
+        buf[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn read_u64(buf: &[u8], offset: usize) -> u64 {
+        u64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap())
+    }
+
+    // Header layout for quick_test: magic(8) version(8) nx@16 ny@24 nz@32
+    // tau(8) body_force(24) bc.x periodic(8) bc.y walls(56) bc.z walls(56)
+    // delta(8) cube_k(8) num_fibers@208.
+    const NX_OFF: usize = 16;
+    const NY_OFF: usize = 24;
+    const NZ_OFF: usize = 32;
+    const NUM_FIBERS_OFF: usize = 208;
+
+    #[test]
+    fn absurd_grid_extent_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        assert_eq!(read_u64(&buf, NX_OFF), 24, "nx offset drifted");
+        // Pre-fix this drove `nx * ny * nz` (overflow) straight into
+        // `FluidGrid::new`; now it must fail fast on the header bound.
+        patch_u64(&mut buf, NX_OFF, u64::MAX);
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("nx"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_node_product_overflow_rejected() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        // Each extent passes the per-axis bound; the product must not.
+        patch_u64(&mut buf, NX_OFF, 1 << 16);
+        patch_u64(&mut buf, NY_OFF, 1 << 16);
+        patch_u64(&mut buf, NZ_OFF, 1 << 16);
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("nodes"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        patch_u64(&mut buf, NZ_OFF, 0);
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("nz"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_fiber_count_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        assert_eq!(
+            read_u64(&buf, NUM_FIBERS_OFF),
+            8,
+            "num_fibers offset drifted"
+        );
+        patch_u64(&mut buf, NUM_FIBERS_OFF, u64::MAX);
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("num_fibers"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_tether_node_rejected() {
+        let state = evolved_state();
+        assert!(
+            !state.tethers.tethers.is_empty(),
+            "test state must carry tethers"
+        );
+        let mut buf = Vec::new();
+        write_checkpoint(&state, &mut buf).unwrap();
+        // Trailing layout: ... last tether (node@-56, anchor, stiffness),
+        // step(8), guard(8).
+        let node_off = buf.len() - 16 - 40;
+        let old = read_u64(&buf, node_off);
+        assert!(old < 64, "tether node offset drifted (read {old})");
+        patch_u64(&mut buf, node_off, 1 << 40);
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("tether node"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
         }
     }
 

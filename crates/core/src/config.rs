@@ -103,6 +103,26 @@ pub struct SimulationConfig {
     pub cube_k: usize,
     /// Which collide/stream schedule the solvers execute.
     pub plan: KernelPlan,
+    /// In-solver run-health watchdog; `None` (the default) disables it.
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+/// Configuration of the in-solver run-health watchdog. When enabled on a
+/// [`SimulationConfig`], every [`crate::solver::Solver::run`] call checks
+/// the stability invariants (NaN, mass drift, runaway velocity — the
+/// shared limits in [`crate::diagnostics`]) every `check_every` steps and
+/// returns [`crate::solver::SolverError::Unstable`] at the first
+/// violation instead of silently producing garbage fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Check cadence in time steps (0 disables the watchdog).
+    pub check_every: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { check_every: 64 }
+    }
 }
 
 /// Execution schedule for kernels 5 and 6. `Split` runs collision and
@@ -329,6 +349,7 @@ impl SimulationConfig {
             },
             cube_k: 4,
             plan: KernelPlan::Split,
+            watchdog: None,
         }
     }
 
@@ -352,6 +373,7 @@ impl SimulationConfig {
             },
             cube_k: 4,
             plan: KernelPlan::Split,
+            watchdog: None,
         }
     }
 
@@ -391,6 +413,7 @@ impl SimulationConfig {
             ),
             cube_k: 4,
             plan: KernelPlan::Split,
+            watchdog: None,
         }
     }
 
@@ -478,6 +501,12 @@ impl ConfigBuilder {
     /// Sets the collide/stream schedule.
     pub fn plan(mut self, plan: KernelPlan) -> Self {
         self.config.plan = plan;
+        self
+    }
+
+    /// Enables (or disables, with `None`) the in-solver health watchdog.
+    pub fn watchdog(mut self, watchdog: Option<WatchdogConfig>) -> Self {
+        self.config.watchdog = watchdog;
         self
     }
 
@@ -615,6 +644,17 @@ mod tests {
     fn plan_defaults_to_split() {
         assert_eq!(KernelPlan::default(), KernelPlan::Split);
         assert_eq!(SimulationConfig::quick_test().plan, KernelPlan::Split);
+    }
+
+    #[test]
+    fn watchdog_defaults_off_and_builds_on() {
+        assert_eq!(SimulationConfig::quick_test().watchdog, None);
+        assert_eq!(WatchdogConfig::default().check_every, 64);
+        let c = SimulationConfig::builder()
+            .watchdog(Some(WatchdogConfig { check_every: 10 }))
+            .build()
+            .unwrap();
+        assert_eq!(c.watchdog, Some(WatchdogConfig { check_every: 10 }));
     }
 
     #[test]

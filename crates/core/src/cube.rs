@@ -44,6 +44,7 @@ use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
 use crate::sharedgrid::{SharedCubeGrid, SharedSlice};
 use crate::solver::RunReport;
 use crate::state::SimState;
+use crate::telemetry::{MetricsRegistry, ThreadSlot};
 
 /// Read-only fluid-velocity view for the interpolation of loop 4.
 ///
@@ -129,6 +130,9 @@ pub struct CubeSolver {
     pub step: u64,
     pub profile: KernelProfile,
     pub imbalance: ImbalanceTracker,
+    /// When true, [`CubeSolver::run`] collects per-worker telemetry (kernel
+    /// busy time, per-barrier wait, cube/fiber ownership) into its report.
+    pub telemetry_enabled: bool,
 }
 
 impl CubeSolver {
@@ -163,6 +167,7 @@ impl CubeSolver {
             step: state.step,
             profile: KernelProfile::new(),
             imbalance: ImbalanceTracker::new(n_threads),
+            telemetry_enabled: false,
         }
     }
 
@@ -251,6 +256,20 @@ impl CubeSolver {
         let locks: Vec<Mutex<()>> = (0..n_threads).map(|_| Mutex::new(())).collect();
         let barrier = PhaseBarrier::new(self.barrier_kind, n_threads);
 
+        // Per-worker telemetry slots: the static data assignment is known
+        // before spawn; the workers flush busy/wait running totals into
+        // their own slot every step (single writer, lock-free).
+        let registry = self
+            .telemetry_enabled
+            .then(|| MetricsRegistry::new(n_threads));
+        if let Some(registry) = &registry {
+            for plan in &plans {
+                registry
+                    .slot(plan.tid)
+                    .set_ownership(plan.my_cubes.len() as u64, plan.my_fibers.len() as u64);
+            }
+        }
+
         let t0 = Instant::now();
         let busy_times: Vec<[f64; KernelId::COUNT]> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_threads);
@@ -263,6 +282,7 @@ impl CubeSolver {
                 let locks = &locks;
                 let barrier = &barrier;
                 let owner = &owner;
+                let slot = registry.as_ref().map(|r| r.slot(plan.tid));
                 handles.push(scope.spawn(move || {
                     worker(
                         plan,
@@ -279,6 +299,7 @@ impl CubeSolver {
                         locks,
                         barrier,
                         owner,
+                        slot,
                     )
                 }));
             }
@@ -311,7 +332,21 @@ impl CubeSolver {
         RunReport {
             steps: n_steps,
             wall,
+            telemetry: registry.map(|r| r.snapshot("cube", n_steps, wall.as_secs_f64())),
         }
+    }
+}
+
+/// One barrier wait, timed into the worker's accumulators only when
+/// telemetry is on (`timed`), so telemetry-off runs keep the bare wait.
+#[inline]
+fn sync_barrier(barrier: &PhaseBarrier, timed: bool, wait_s: &mut f64, waits: &mut u64) {
+    if timed {
+        let (_, waited) = barrier.wait_timed();
+        *wait_s += waited.as_secs_f64();
+        *waits += 1;
+    } else {
+        barrier.wait();
     }
 }
 
@@ -333,8 +368,12 @@ fn worker(
     locks: &[Mutex<()>],
     barrier: &PhaseBarrier,
     owner: &[usize],
+    slot: Option<&ThreadSlot>,
 ) -> [f64; KernelId::COUNT] {
     let mut busy = [0.0f64; KernelId::COUNT];
+    let timed = slot.is_some();
+    let mut barrier_wait_s = 0.0f64;
+    let mut barrier_waits = 0u64;
     #[cfg(feature = "racecheck")]
     crate::racecheck::set_thread(plan.tid);
     #[cfg(feature = "racecheck")]
@@ -575,7 +614,8 @@ fn worker(
             }
         }
 
-        barrier.wait(); // barrier 1: all streamed populations in place
+        // Barrier 1: all streamed populations in place.
+        sync_barrier(barrier, timed, &mut barrier_wait_s, &mut barrier_waits);
         #[cfg(feature = "racecheck")]
         {
             rc_phase += 1;
@@ -609,7 +649,8 @@ fn worker(
         }
         busy[6] += t0.elapsed().as_secs_f64();
 
-        barrier.wait(); // barrier 2: all velocities in place
+        // Barrier 2: all velocities in place.
+        sync_barrier(barrier, timed, &mut barrier_wait_s, &mut barrier_waits);
         #[cfg(feature = "racecheck")]
         {
             rc_phase += 1;
@@ -662,11 +703,18 @@ fn worker(
         }
         busy[8] += t0.elapsed().as_secs_f64();
 
-        barrier.wait(); // barrier 3: end of time step
+        // Barrier 3: end of time step.
+        sync_barrier(barrier, timed, &mut barrier_wait_s, &mut barrier_waits);
         #[cfg(feature = "racecheck")]
         {
             rc_phase += 1;
             crate::racecheck::set_phase(rc_phase);
+        }
+
+        // Flush running totals into my registry slot (single writer).
+        if let Some(slot) = slot {
+            slot.store_kernel_seconds(&busy);
+            slot.store_barrier_wait(barrier_wait_s, barrier_waits);
         }
     }
 

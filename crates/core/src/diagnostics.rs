@@ -4,6 +4,18 @@
 
 use crate::state::SimState;
 
+/// Largest velocity magnitude considered stable. The lattice sound speed
+/// is c_s = 1/√3 ≈ 0.577; beyond ~0.4 the low-Mach expansion behind BGK
+/// collision is invalid and the run is already garbage. Shared with the
+/// in-solver watchdog ([`crate::telemetry::Watchdog`]) so the CLI and
+/// in-run checks cannot diverge.
+pub const MAX_VELOCITY_LIMIT: f64 = 0.4;
+
+/// Largest tolerated relative mass drift `|m − m₀| / m₀`. Streaming and
+/// bounce-back conserve mass exactly; anything above round-off accumulation
+/// means a kernel bug or blow-up. Shared with the watchdog.
+pub const MASS_DRIFT_LIMIT: f64 = 1e-9;
+
 /// A snapshot of the physically meaningful summary quantities.
 #[derive(Clone, Copy, Debug)]
 pub struct Diagnostics {
@@ -74,14 +86,23 @@ impl Diagnostics {
         if self.nan_detected {
             return Err(format!("NaN detected at step {}", self.step));
         }
-        if self.max_velocity > 0.4 {
+        if self.max_velocity > MAX_VELOCITY_LIMIT {
             return Err(format!(
                 "max velocity {} approaches lattice sound speed at step {}",
                 self.max_velocity, self.step
             ));
         }
+        // A zero/negative/non-finite reference mass would make the drift
+        // ratio below NaN or ±inf, silently passing (NaN comparisons are
+        // false) or spuriously failing — reject it outright.
+        if !initial_mass.is_finite() || initial_mass <= 0.0 {
+            return Err(format!(
+                "reference mass {initial_mass} is not a positive finite value (step {})",
+                self.step
+            ));
+        }
         let drift = (self.mass - initial_mass).abs() / initial_mass;
-        if drift > 1e-9 {
+        if !drift.is_finite() || drift > MASS_DRIFT_LIMIT {
             return Err(format!("mass drifted by {drift:.3e} at step {}", self.step));
         }
         Ok(())
@@ -127,6 +148,24 @@ mod tests {
         let d = diagnostics(&s);
         assert!(d.nan_detected);
         assert!(d.check_stability(d.mass.max(1.0)).is_err());
+    }
+
+    #[test]
+    fn stability_check_rejects_degenerate_reference_mass() {
+        let s = crate::state::SimState::new(SimulationConfig::quick_test());
+        let d = diagnostics(&s);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = d.check_stability(bad).unwrap_err();
+            assert!(err.contains("reference mass"), "mass {bad}: {err}");
+        }
+        // A sane reference still passes.
+        d.check_stability(d.mass).unwrap();
+    }
+
+    #[test]
+    fn stability_limits_are_named_constants() {
+        assert_eq!(MAX_VELOCITY_LIMIT, 0.4);
+        assert_eq!(MASS_DRIFT_LIMIT, 1e-9);
     }
 
     #[test]

@@ -33,8 +33,10 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender as Sender};
 
 use crate::config::{KernelPlan, SimulationConfig};
 use crate::openmp::balanced_ranges;
+use crate::profiling::KernelId;
 use crate::solver::RunReport;
 use crate::state::SimState;
+use crate::telemetry::{MetricsRegistry, ThreadSlot};
 
 /// Everything one rank owns. `f` carries two ghost planes (local plane 0 =
 /// global `x0 − 1`, local plane `w + 1` = global `x1`); all other fields
@@ -111,6 +113,9 @@ pub struct DistributedSolver {
     pub sheet: FiberSheet,
     tethers: TetherSet,
     pub step: u64,
+    /// When true, [`DistributedSolver::run`] attaches per-rank telemetry
+    /// (kernel section times plus blocking-receive wait) to its report.
+    pub telemetry_enabled: bool,
 }
 
 impl DistributedSolver {
@@ -187,6 +192,7 @@ impl DistributedSolver {
             sheet: state.sheet,
             tethers: state.tethers,
             step: state.step,
+            telemetry_enabled: false,
         }
     }
 
@@ -247,6 +253,16 @@ impl DistributedSolver {
         let fabric = Fabric::new(n);
 
         let ranks = std::mem::take(&mut self.ranks);
+        let registry = self.telemetry_enabled.then(|| MetricsRegistry::new(n));
+        if let Some(registry) = &registry {
+            // "cubes" for a rank are its owned x-planes; the sheet is
+            // replicated, so every rank owns every fiber.
+            for (id, rank) in ranks.iter().enumerate() {
+                registry
+                    .slot(id)
+                    .set_ownership(rank.w as u64, sheet_template.num_fibers as u64);
+            }
+        }
         let Fabric {
             tx: tx_mesh,
             rx: rx_mesh,
@@ -257,8 +273,9 @@ impl DistributedSolver {
                 let tx: Vec<Sender<Msg>> = tx_mesh[id].clone();
                 let sheet = sheet_template.clone();
                 let tethers = tethers.clone();
+                let slot = registry.as_ref().map(|r| r.slot(id));
                 handles.push(scope.spawn(move || {
-                    rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, &rx)
+                    rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, &rx, slot)
                 }));
             }
             handles
@@ -279,11 +296,24 @@ impl DistributedSolver {
         self.ranks = new_ranks;
         self.sheet = sheet_out.expect("at least one rank");
         self.step += n_steps;
+        let wall = t0.elapsed();
         RunReport {
             steps: n_steps,
-            wall: t0.elapsed(),
+            wall,
+            telemetry: registry.map(|r| r.snapshot("dist", n_steps, wall.as_secs_f64())),
         }
     }
+}
+
+/// Receives one message, charging the blocked time to the rank's
+/// communication-wait accumulators (the distributed analogue of barrier
+/// wait: the rank is stalled on a neighbour or on the reduction root).
+fn recv_counted(rx: &Receiver<Msg>, wait_s: &mut f64, waits: &mut u64) -> Msg {
+    let t0 = std::time::Instant::now();
+    let msg = rx.recv().expect("recv");
+    *wait_s += t0.elapsed().as_secs_f64();
+    *waits += 1;
+    msg
 }
 
 /// One rank's execution.
@@ -298,6 +328,7 @@ fn rank_main(
     n_steps: u64,
     tx: Vec<Sender<Msg>>,
     rx: &[Receiver<Msg>],
+    slot: Option<&ThreadSlot>,
 ) -> (RankData, FiberSheet) {
     let dims = config.dims();
     let plane = dims.ny * dims.nz;
@@ -327,23 +358,41 @@ fn rank_main(
         }
     };
 
+    // Per-rank telemetry: kernel section times plus blocking-receive wait,
+    // flushed to the registry slot once after the step loop.
+    let mut busy = [0.0f64; KernelId::COUNT];
+    let mut comm_wait_s = 0.0f64;
+    let mut comm_waits = 0u64;
+
     for _step in 0..n_steps {
         // Kernels 1–3 (+ tethers): replicated on every rank.
+        let mut mark = std::time::Instant::now();
         for fiber in 0..topo.num_fibers {
             for node in 0..nn {
                 let i = fiber * nn + node;
                 sheet.bending[i] = bending_at(&topo, &sheet.pos, fiber, node);
+            }
+        }
+        busy[KernelId::BendingForce.index()] += mark.elapsed().as_secs_f64();
+        mark = std::time::Instant::now();
+        for fiber in 0..topo.num_fibers {
+            for node in 0..nn {
+                let i = fiber * nn + node;
                 sheet.stretching[i] = stretching_at(&topo, &sheet.pos, fiber, node);
             }
         }
+        busy[KernelId::StretchingForce.index()] += mark.elapsed().as_secs_f64();
+        mark = std::time::Instant::now();
         for i in 0..sheet.n() {
             for a in 0..3 {
                 sheet.elastic[i][a] = sheet.bending[i][a] + sheet.stretching[i][a];
             }
         }
         tethers.apply(&mut sheet);
+        busy[KernelId::ElasticForce.index()] += mark.elapsed().as_secs_f64();
 
         // Kernel 4: reset to body force, spread only into owned planes.
+        mark = std::time::Instant::now();
         rank.fx.fill(config.body_force[0]);
         rank.fy.fill(config.body_force[1]);
         rank.fz.fill(config.body_force[2]);
@@ -362,7 +411,9 @@ fn rank_main(
                 }
             });
         }
+        busy[KernelId::SpreadForce.index()] += mark.elapsed().as_secs_f64();
 
+        mark = std::time::Instant::now();
         match config.plan {
             KernelPlan::Split => {
                 // Kernel 5: collision on owned planes.
@@ -428,6 +479,11 @@ fn rank_main(
                 }
             }
         }
+        let collide_slot = match config.plan {
+            KernelPlan::Split => KernelId::Collision,
+            KernelPlan::Fused => KernelId::FusedCollideStream,
+        };
+        busy[collide_slot.index()] += mark.elapsed().as_secs_f64();
 
         // Halo exchange: my first owned plane → left neighbour's right
         // ghost; my last owned plane → right neighbour's left ghost.
@@ -441,18 +497,19 @@ fn rank_main(
             tx[right].send(Msg::Halo(last_plane)).expect("send right");
             // Receive: from right neighbour their first plane (my right
             // ghost), from left neighbour their last plane (my left ghost).
-            match rx[right].recv().expect("recv right") {
+            match recv_counted(&rx[right], &mut comm_wait_s, &mut comm_waits) {
                 Msg::Halo(p) => {
                     rank.f[(w + 1) * plane * Q..(w + 2) * plane * Q].copy_from_slice(&p)
                 }
                 _ => panic!("protocol error: expected halo"),
             }
-            match rx[left].recv().expect("recv left") {
+            match recv_counted(&rx[left], &mut comm_wait_s, &mut comm_waits) {
                 Msg::Halo(p) => rank.f[0..plane * Q].copy_from_slice(&p),
                 _ => panic!("protocol error: expected halo"),
             }
         }
 
+        mark = std::time::Instant::now();
         match config.plan {
             KernelPlan::Split => {
                 // Kernel 6: pull streaming into owned f_new, reading ghosts.
@@ -512,8 +569,14 @@ fn rank_main(
                 }
             }
         }
+        let stream_slot = match config.plan {
+            KernelPlan::Split => KernelId::Stream,
+            KernelPlan::Fused => KernelId::FusedCollideStream,
+        };
+        busy[stream_slot.index()] += mark.elapsed().as_secs_f64();
 
         // Kernel 7: macroscopic update on owned planes.
+        mark = std::time::Instant::now();
         for lnode in 0..w * plane {
             let force = [rank.fx[lnode], rank.fy[lnode], rank.fz[lnode]];
             let (rho, u, ueq) =
@@ -526,9 +589,13 @@ fn rank_main(
             rank.ueqy[lnode] = ueq[1];
             rank.ueqz[lnode] = ueq[2];
         }
+        busy[KernelId::UpdateVelocity.index()] += mark.elapsed().as_secs_f64();
 
         // Kernel 8: partial interpolation over owned planes, then a
-        // deterministic all-reduce (rank order) through rank 0.
+        // deterministic all-reduce (rank order) through rank 0. The local
+        // work is charged to MoveFibers; time blocked in the reduction is
+        // communication wait.
+        mark = std::time::Instant::now();
         let mut partial = vec![[0.0f64; 3]; sheet.n()];
         for (i, p) in sheet.pos.iter().enumerate() {
             let mut u = [0.0; 3];
@@ -542,6 +609,7 @@ fn rank_main(
             });
             partial[i] = u;
         }
+        busy[KernelId::MoveFibers.index()] += mark.elapsed().as_secs_f64();
         let reduced = if n_ranks == 1 {
             partial
         } else if id == 0 {
@@ -549,7 +617,7 @@ fn rank_main(
             // Sum in rank order for determinism.
             let mut others: Vec<(usize, Vec<[f64; 3]>)> = Vec::with_capacity(n_ranks - 1);
             for r in 1..n_ranks {
-                match rx[r].recv().expect("recv partial") {
+                match recv_counted(&rx[r], &mut comm_wait_s, &mut comm_waits) {
                     Msg::Partial(p) => others.push((r, p)),
                     _ => panic!("protocol error: expected partial"),
                 }
@@ -568,23 +636,32 @@ fn rank_main(
             acc
         } else {
             tx[0].send(Msg::Partial(partial)).expect("send partial");
-            match rx[0].recv().expect("recv reduced") {
+            match recv_counted(&rx[0], &mut comm_wait_s, &mut comm_waits) {
                 Msg::Reduced(v) => v,
                 _ => panic!("protocol error: expected reduced"),
             }
         };
+        mark = std::time::Instant::now();
         for (p, u) in sheet.pos.iter_mut().zip(&reduced) {
             p[0] += u[0];
             p[1] += u[1];
             p[2] += u[2];
         }
+        busy[KernelId::MoveFibers.index()] += mark.elapsed().as_secs_f64();
 
         // Kernel 9: copy owned f_new back into the (ghosted) f buffer.
+        mark = std::time::Instant::now();
         for lx in 0..w {
             let dst = (lx + 1) * plane * Q;
             let src = lx * plane * Q;
             rank.f[dst..dst + plane * Q].copy_from_slice(&rank.f_new[src..src + plane * Q]);
         }
+        busy[KernelId::CopyDistributions.index()] += mark.elapsed().as_secs_f64();
+    }
+
+    if let Some(slot) = slot {
+        slot.store_kernel_seconds(&busy);
+        slot.store_barrier_wait(comm_wait_s, comm_waits);
     }
 
     (rank, sheet)

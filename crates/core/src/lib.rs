@@ -52,14 +52,18 @@ pub mod sharedgrid;
 pub mod solver;
 pub mod state;
 pub mod sync_shim;
+pub mod telemetry;
 pub mod threadpool;
 pub mod tuning;
 pub mod verify;
 
-pub use config::{ConfigError, KernelPlan, SheetConfig, SimulationConfig, TetherConfig};
+pub use config::{
+    ConfigError, KernelPlan, SheetConfig, SimulationConfig, TetherConfig, WatchdogConfig,
+};
 pub use cube::CubeSolver;
 pub use distributed::DistributedSolver;
 pub use openmp::OpenMpSolver;
 pub use sequential::SequentialSolver;
 pub use solver::{build_solver, RunReport, Solver, SolverError};
 pub use state::SimState;
+pub use telemetry::{MetricsRegistry, RunTelemetry, ThreadTelemetry, Watchdog};

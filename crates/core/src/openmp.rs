@@ -29,6 +29,7 @@ use crate::config::KernelPlan;
 use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
 use crate::solver::RunReport;
 use crate::state::SimState;
+use crate::telemetry::MetricsRegistry;
 use crate::threadpool::{current_thread_index, ThreadPool};
 
 /// Splits `0..n` into `chunks` balanced contiguous ranges (static schedule).
@@ -117,6 +118,9 @@ pub struct OpenMpSolver {
     pub imbalance: ImbalanceTracker,
     /// Loop scheduling policy (static by default, as in the paper).
     pub schedule: Schedule,
+    /// When true, [`OpenMpSolver::run`] attaches per-thread telemetry
+    /// (derived from the imbalance tracker) to its report.
+    pub telemetry_enabled: bool,
     pool: ThreadPool,
     n_threads: usize,
 }
@@ -136,6 +140,7 @@ impl OpenMpSolver {
             profile: KernelProfile::new(),
             imbalance: ImbalanceTracker::new(n_threads),
             schedule: Schedule::default(),
+            telemetry_enabled: false,
             pool,
             n_threads,
         }
@@ -176,7 +181,29 @@ impl OpenMpSolver {
 
     /// Runs `n` time steps and reports the wall time spent.
     pub fn run(&mut self, n: u64) -> RunReport {
-        crate::solver::timed_steps(n, || self.step())
+        if !self.telemetry_enabled {
+            return crate::solver::timed_steps(n, || self.step());
+        }
+        // Per-thread telemetry is the imbalance tracker's delta over this
+        // call: busy seconds per kernel, and the wait each thread would
+        // spend at the region-closing (implicit OpenMP) barriers.
+        let busy0 = self.imbalance.busy_by_thread().to_vec();
+        let wait0 = self.imbalance.wait_by_thread().to_vec();
+        let regions0 = self.imbalance.regions();
+        let mut report = crate::solver::timed_steps(n, || self.step());
+        let registry = MetricsRegistry::new(self.n_threads);
+        let region_waits = self.imbalance.regions() - regions0;
+        let fiber_ranges = balanced_ranges(self.state.sheet.num_fibers, self.n_threads);
+        for t in 0..self.n_threads {
+            let slot = registry.slot(t);
+            let delta: [f64; KernelId::COUNT] =
+                std::array::from_fn(|k| self.imbalance.busy_by_thread()[t][k] - busy0[t][k]);
+            slot.store_kernel_seconds(&delta);
+            slot.store_barrier_wait(self.imbalance.wait_by_thread()[t] - wait0[t], region_waits);
+            slot.set_ownership(0, fiber_ranges[t].len() as u64);
+        }
+        report.telemetry = Some(registry.snapshot("omp", n, report.wall.as_secs_f64()));
+        report
     }
 
     /// Kernels 1–3: parallel over fibers (first loop of Algorithm 3); the

@@ -122,6 +122,12 @@ impl KernelProfile {
         self.totals.iter().sum()
     }
 
+    /// Per-kernel totals in seconds, [`KernelId::ALL`] order (telemetry
+    /// export).
+    pub fn totals_seconds(&self) -> [f64; KernelId::COUNT] {
+        std::array::from_fn(|i| self.totals[i].as_secs_f64())
+    }
+
     /// Kernels sorted by descending share of total time, with their
     /// percentage — the rows of Table I.
     pub fn ranked(&self) -> Vec<(KernelId, Duration, f64)> {
@@ -184,6 +190,11 @@ pub struct ImbalanceTracker {
     imbalance: [f64; KernelId::COUNT],
     /// Per-kernel accumulated max-thread (critical path) time.
     critical: [f64; KernelId::COUNT],
+    /// Per-thread accumulated wait time `Σ (max_busy − busy_t)` over all
+    /// recorded regions (each thread's time at closing barriers).
+    wait_by_thread: Vec<f64>,
+    /// Number of parallel-region instances recorded.
+    regions: u64,
 }
 
 impl ImbalanceTracker {
@@ -195,6 +206,8 @@ impl ImbalanceTracker {
             busy: vec![[0.0; KernelId::COUNT]; n_threads],
             imbalance: [0.0; KernelId::COUNT],
             critical: [0.0; KernelId::COUNT],
+            wait_by_thread: vec![0.0; n_threads],
+            regions: 0,
         }
     }
 
@@ -214,7 +227,24 @@ impl ImbalanceTracker {
         self.critical[k] += max;
         for (t, &b) in busy.iter().enumerate() {
             self.busy[t][k] += b;
+            self.wait_by_thread[t] += max - b;
         }
+        self.regions += 1;
+    }
+
+    /// Per-thread accumulated busy seconds per kernel (telemetry export).
+    pub fn busy_by_thread(&self) -> &[[f64; KernelId::COUNT]] {
+        &self.busy
+    }
+
+    /// Per-thread accumulated wait seconds at region-closing barriers.
+    pub fn wait_by_thread(&self) -> &[f64] {
+        &self.wait_by_thread
+    }
+
+    /// Number of parallel-region instances recorded so far.
+    pub fn regions(&self) -> u64 {
+        self.regions
     }
 
     /// Total imbalance (average wait) time across all kernels, seconds.
@@ -332,6 +362,10 @@ mod tests {
         t.record_region(KernelId::Collision, &[2.0, 1.0]);
         assert!((t.total_imbalance() - 0.5).abs() < 1e-12);
         assert!((t.imbalance_percent() - 25.0).abs() < 1e-9);
+        // Per-thread view: thread 0 never waited, thread 1 waited 1 s.
+        assert_eq!(t.wait_by_thread(), &[0.0, 1.0]);
+        assert_eq!(t.busy_by_thread()[0][KernelId::Collision.index()], 2.0);
+        assert_eq!(t.regions(), 1);
     }
 
     #[test]

@@ -6,20 +6,21 @@ use crate::kernels;
 use crate::profiling::{KernelId, KernelProfile};
 use crate::solver::RunReport;
 use crate::state::SimState;
+use crate::telemetry::MetricsRegistry;
 
 /// Sequential coupled solver.
 pub struct SequentialSolver {
     pub state: SimState,
     pub profile: KernelProfile,
+    /// When true, [`SequentialSolver::run`] attaches single-thread
+    /// telemetry (derived from the kernel profile) to its report.
+    pub telemetry_enabled: bool,
 }
 
 impl SequentialSolver {
     /// Creates the solver with a fresh state from the configuration.
     pub fn new(config: crate::config::SimulationConfig) -> Self {
-        Self {
-            state: SimState::new(config),
-            profile: KernelProfile::new(),
-        }
+        Self::from_state(SimState::new(config))
     }
 
     /// Wraps an existing state.
@@ -27,6 +28,7 @@ impl SequentialSolver {
         Self {
             state,
             profile: KernelProfile::new(),
+            telemetry_enabled: false,
         }
     }
 
@@ -73,13 +75,30 @@ impl SequentialSolver {
 
     /// Runs `n` time steps and reports the wall time spent.
     pub fn run(&mut self, n: u64) -> RunReport {
+        let before = self
+            .telemetry_enabled
+            .then(|| self.profile.totals_seconds());
         let t0 = std::time::Instant::now();
         for _ in 0..n {
             self.step();
         }
+        let wall = t0.elapsed();
+        // Single-thread telemetry is the profile delta of this call; the
+        // one "thread" owns every fiber and no cubes (flat layout).
+        let telemetry = before.map(|before| {
+            let after = self.profile.totals_seconds();
+            let delta: [f64; KernelId::COUNT] = std::array::from_fn(|i| after[i] - before[i]);
+            let registry = MetricsRegistry::new(1);
+            registry.slot(0).store_kernel_seconds(&delta);
+            registry
+                .slot(0)
+                .set_ownership(0, self.state.sheet.num_fibers as u64);
+            registry.snapshot("seq", n, wall.as_secs_f64())
+        });
         RunReport {
             steps: n,
-            wall: t0.elapsed(),
+            wall,
+            telemetry,
         }
     }
 }

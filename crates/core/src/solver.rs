@@ -8,23 +8,27 @@
 
 use std::time::{Duration, Instant};
 
-use crate::config::ConfigError;
+use crate::config::{ConfigError, WatchdogConfig};
 use crate::cube::CubeSolver;
 use crate::distributed::DistributedSolver;
 use crate::openmp::OpenMpSolver;
 use crate::profiling::KernelProfile;
 use crate::sequential::SequentialSolver;
 use crate::state::SimState;
+use crate::telemetry::{RunTelemetry, Watchdog};
 
-/// What a completed [`Solver::run`] did: how many steps, and how long the
+/// What a completed [`Solver::run`] did: how many steps, how long the
 /// whole run took on the wall clock (including barriers and thread spawn
-/// for the parallel solvers).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// for the parallel solvers), and — when enabled via
+/// [`Solver::set_telemetry`] — the per-thread kernel/barrier breakdown.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Time steps executed by this call.
     pub steps: u64,
     /// Wall-clock time of the whole call.
     pub wall: Duration,
+    /// Per-thread telemetry, present when collection was enabled.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunReport {
@@ -38,10 +42,15 @@ impl RunReport {
         }
     }
 
-    /// Merges a subsequent report into this one.
+    /// Merges a subsequent report into this one (telemetry included).
     pub fn merge(&mut self, other: RunReport) {
         self.steps += other.steps;
         self.wall += other.wall;
+        match (&mut self.telemetry, other.telemetry) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
     }
 }
 
@@ -58,6 +67,9 @@ pub enum SolverError {
     TooManyRanks { ranks: usize, nx: usize },
     /// The solver name is not one of `seq|omp|cube|dist`.
     UnknownSolver(String),
+    /// The in-run watchdog found the simulation blowing up (NaN fields,
+    /// runaway velocity or mass drift) at `step`.
+    Unstable { step: u64, reason: String },
 }
 
 impl std::fmt::Display for SolverError {
@@ -74,6 +86,9 @@ impl std::fmt::Display for SolverError {
             }
             SolverError::UnknownSolver(name) => {
                 write!(f, "unknown solver '{name}' (expected seq|omp|cube|dist)")
+            }
+            SolverError::Unstable { step, reason } => {
+                write!(f, "simulation unstable at step {step}: {reason}")
             }
         }
     }
@@ -115,6 +130,37 @@ pub trait Solver {
 
     /// The per-kernel profile, if this solver keeps one.
     fn profile(&self) -> Option<&KernelProfile>;
+
+    /// Turns per-thread telemetry collection on or off. When on, every
+    /// subsequent [`Solver::run`] attaches a
+    /// [`crate::telemetry::RunTelemetry`] to its report.
+    fn set_telemetry(&mut self, enabled: bool);
+}
+
+/// Shared watchdog harness for the trait-level `run` implementations:
+/// without a watchdog the whole run is one `chunk` call; with one, the run
+/// is split into `check_every`-step chunks with a stability check between
+/// them (chunked runs are bit-exact re-entries for every solver, so the
+/// physics is unchanged). The starting state arms the reference mass.
+fn run_watched<S>(
+    solver: &mut S,
+    n: u64,
+    watchdog: Option<WatchdogConfig>,
+    mut chunk: impl FnMut(&mut S, u64) -> RunReport,
+    check: impl Fn(&S, &mut Watchdog) -> Result<(), SolverError>,
+) -> Result<RunReport, SolverError> {
+    let Some(cfg) = watchdog.filter(|c| c.check_every > 0) else {
+        return Ok(chunk(solver, n));
+    };
+    let mut dog = Watchdog::new();
+    check(solver, &mut dog)?;
+    let mut report = RunReport::default();
+    while report.steps < n {
+        let len = cfg.check_every.min(n - report.steps);
+        report.merge(chunk(solver, len));
+        check(solver, &mut dog)?;
+    }
+    Ok(report)
 }
 
 impl Solver for SequentialSolver {
@@ -125,13 +171,19 @@ impl Solver for SequentialSolver {
         SequentialSolver::step(self);
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
-        Ok(SequentialSolver::run(self, n))
+        let watchdog = self.state.config.watchdog;
+        run_watched(self, n, watchdog, SequentialSolver::run, |s, dog| {
+            dog.observe(&s.state)
+        })
     }
     fn to_state(&self) -> SimState {
         self.state.clone()
     }
     fn profile(&self) -> Option<&KernelProfile> {
         Some(&self.profile)
+    }
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry_enabled = enabled;
     }
 }
 
@@ -143,13 +195,19 @@ impl Solver for OpenMpSolver {
         OpenMpSolver::step(self);
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
-        Ok(OpenMpSolver::run(self, n))
+        let watchdog = self.state.config.watchdog;
+        run_watched(self, n, watchdog, OpenMpSolver::run, |s, dog| {
+            dog.observe(&s.state)
+        })
     }
     fn to_state(&self) -> SimState {
         self.state.clone()
     }
     fn profile(&self) -> Option<&KernelProfile> {
         Some(&self.profile)
+    }
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry_enabled = enabled;
     }
 }
 
@@ -161,13 +219,21 @@ impl Solver for CubeSolver {
         CubeSolver::run(self, 1);
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
-        Ok(CubeSolver::run(self, n))
+        let watchdog = self.config.watchdog;
+        run_watched(self, n, watchdog, CubeSolver::run, |s, dog| {
+            // Gathering the blocked layout costs one flat copy, paid only
+            // every `check_every` steps.
+            dog.observe(&s.to_state())
+        })
     }
     fn to_state(&self) -> SimState {
         CubeSolver::to_state(self)
     }
     fn profile(&self) -> Option<&KernelProfile> {
         Some(&self.profile)
+    }
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry_enabled = enabled;
     }
 }
 
@@ -179,7 +245,10 @@ impl Solver for DistributedSolver {
         DistributedSolver::run(self, 1);
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
-        Ok(DistributedSolver::run(self, n))
+        let watchdog = self.config.watchdog;
+        run_watched(self, n, watchdog, DistributedSolver::run, |s, dog| {
+            dog.observe(&s.to_state())
+        })
     }
     fn to_state(&self) -> SimState {
         DistributedSolver::to_state(self)
@@ -187,6 +256,9 @@ impl Solver for DistributedSolver {
     fn profile(&self) -> Option<&KernelProfile> {
         // The distributed prototype keeps per-rank timings out of scope.
         None
+    }
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry_enabled = enabled;
     }
 }
 
@@ -270,6 +342,7 @@ pub(crate) fn timed_steps(n: u64, mut step: impl FnMut()) -> RunReport {
     RunReport {
         steps: n,
         wall: t0.elapsed(),
+        telemetry: None,
     }
 }
 
@@ -372,15 +445,56 @@ mod tests {
         let mut r = RunReport {
             steps: 10,
             wall: Duration::from_secs(2),
+            telemetry: None,
         };
         assert_eq!(r.steps_per_second(), 5.0);
         r.merge(RunReport {
             steps: 5,
             wall: Duration::from_secs(1),
+            telemetry: None,
         });
         assert_eq!(r.steps, 15);
         assert_eq!(r.wall, Duration::from_secs(3));
         assert_eq!(RunReport::default().steps_per_second(), 0.0);
+    }
+
+    #[test]
+    fn watchdog_catches_instability_through_the_trait() {
+        use crate::config::WatchdogConfig;
+        // Seed an already-poisoned state; with check_every = 1 the first
+        // post-chunk check must trip, typed, on every solver.
+        for kind in ["seq", "omp", "cube", "dist"] {
+            let mut config = SimulationConfig::quick_test();
+            config.watchdog = Some(WatchdogConfig { check_every: 1 });
+            let mut state = SimState::new(config);
+            state.fluid.ux[3] = 0.9; // far beyond the velocity limit
+            let mut s = build_solver(kind, state, 2).unwrap();
+            match s.run(10) {
+                Err(SolverError::Unstable { reason, .. }) => {
+                    assert!(reason.contains("velocity"), "{kind}: {reason}")
+                }
+                other => panic!("{kind}: expected Unstable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_passes_healthy_runs_unchanged() {
+        use crate::config::WatchdogConfig;
+        use crate::verify::compare_states;
+        let mut config = SimulationConfig::quick_test();
+        let mut plain = build_solver("seq", SimState::new(config), 1).unwrap();
+        let plain_report = plain.run(10).unwrap();
+        config.watchdog = Some(WatchdogConfig { check_every: 3 });
+        let mut watched = build_solver("seq", SimState::new(config), 1).unwrap();
+        let report = watched.run(10).unwrap();
+        assert_eq!(report.steps, 10);
+        assert_eq!(plain_report.steps, 10);
+        // Chunked re-entry is bit-exact: watched physics == unwatched.
+        assert_eq!(
+            compare_states(&plain.to_state(), &watched.to_state()).worst(),
+            0.0
+        );
     }
 
     #[test]

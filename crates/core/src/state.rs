@@ -45,6 +45,8 @@ impl SimState {
         self.sheet.has_nan()
             || self.fluid.rho.iter().any(|v| !v.is_finite())
             || self.fluid.ux.iter().any(|v| !v.is_finite())
+            || self.fluid.uy.iter().any(|v| !v.is_finite())
+            || self.fluid.uz.iter().any(|v| !v.is_finite())
     }
 }
 
@@ -76,5 +78,19 @@ mod tests {
         let mut s = SimState::new(SimulationConfig::quick_test());
         s.fluid.rho[5] = f64::NAN;
         assert!(s.has_nan());
+    }
+
+    #[test]
+    fn nan_detection_covers_all_velocity_components() {
+        // uy/uz used to be skipped, so a NaN confined to them went unseen.
+        for field in 0..3 {
+            let mut s = SimState::new(SimulationConfig::quick_test());
+            match field {
+                0 => s.fluid.ux[2] = f64::NAN,
+                1 => s.fluid.uy[2] = f64::NAN,
+                _ => s.fluid.uz[2] = f64::INFINITY,
+            }
+            assert!(s.has_nan(), "component {field} not detected");
+        }
     }
 }

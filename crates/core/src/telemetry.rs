@@ -1,0 +1,525 @@
+//! Per-thread run telemetry and the in-solver run-health watchdog.
+//!
+//! The paper's whole evaluation (Table I, Figures 8–11) rests on
+//! per-kernel time breakdowns, barrier overhead and thread-load balance —
+//! numbers a `&mut self` profiler cannot collect from inside the cube
+//! solver's worker team. This module provides the missing plumbing:
+//!
+//! * [`MetricsRegistry`] — a lock-free registry with one cache-line-padded
+//!   [`ThreadSlot`] per worker. Workers write only their own slot (plain
+//!   `Relaxed` atomics, single writer per slot, so there is never
+//!   contention or false sharing); readers merge all slots into a
+//!   [`RunTelemetry`] snapshot on demand.
+//! * [`RunTelemetry`] — the merged view attached to
+//!   [`crate::solver::RunReport`]: per-kernel totals over all nine
+//!   Algorithm-1 kernels (plus the fused sweep), per-thread busy/wait
+//!   breakdowns, barrier-wait share, cube/fiber ownership counts from
+//!   `cube2thread`/`fiber2thread`, and the load-imbalance ratio. It
+//!   serialises itself to JSON (hand-rolled; the workspace has no serde)
+//!   for `lbmib --metrics <path>` and the bench harness.
+//! * [`Watchdog`] — an in-solver health check driven by
+//!   [`crate::config::WatchdogConfig`]: every `check_every` steps the
+//!   solver's state is inspected for NaN, mass drift and runaway velocity
+//!   (the exact limits of [`crate::diagnostics`], shared constants so the
+//!   CLI and in-run checks cannot diverge), turning silent garbage into a
+//!   typed [`SolverError::Unstable`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::diagnostics::diagnostics;
+use crate::profiling::KernelId;
+use crate::solver::SolverError;
+use crate::state::SimState;
+
+/// One worker's private metrics slot. `#[repr(align(128))]` keeps slots on
+/// distinct cache lines (128 covers the common 64-byte line and the
+/// 128-byte prefetch pairs of recent x86), so per-step flushes from
+/// different workers never false-share.
+///
+/// Seconds are stored as `f64` bit patterns inside `AtomicU64`s; every
+/// slot has exactly one writer (its worker), so `Relaxed` read-modify
+/// sequences are race-free, and readers merging mid-run see a consistent
+/// monotone prefix of each counter.
+#[repr(align(128))]
+#[derive(Debug)]
+pub struct ThreadSlot {
+    /// Accumulated busy seconds per kernel (f64 bits).
+    kernel_seconds: [AtomicU64; KernelId::COUNT],
+    /// Accumulated seconds spent inside barrier/communication waits (f64
+    /// bits).
+    barrier_wait_seconds: AtomicU64,
+    /// Number of barrier waits (or blocking receives) performed.
+    barrier_waits: AtomicU64,
+    /// Cubes assigned to this worker by `cube2thread` (x-planes for the
+    /// distributed solver; 0 for the slab/sequential decompositions).
+    cubes_owned: AtomicU64,
+    /// Fibers assigned by `fiber2thread`.
+    fibers_owned: AtomicU64,
+}
+
+impl ThreadSlot {
+    fn new() -> Self {
+        Self {
+            kernel_seconds: std::array::from_fn(|_| AtomicU64::new(0f64.to_bits())),
+            barrier_wait_seconds: AtomicU64::new(0f64.to_bits()),
+            barrier_waits: AtomicU64::new(0),
+            cubes_owned: AtomicU64::new(0),
+            fibers_owned: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the per-kernel busy totals (the worker's running sums).
+    pub fn store_kernel_seconds(&self, totals: &[f64; KernelId::COUNT]) {
+        for (slot, &v) in self.kernel_seconds.iter().zip(totals) {
+            slot.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds busy seconds to one kernel (single-writer accumulate).
+    pub fn add_kernel_seconds(&self, kernel: KernelId, seconds: f64) {
+        let slot = &self.kernel_seconds[kernel.index()];
+        let cur = f64::from_bits(slot.load(Ordering::Relaxed));
+        slot.store((cur + seconds).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Overwrites the barrier-wait running totals.
+    pub fn store_barrier_wait(&self, seconds: f64, waits: u64) {
+        self.barrier_wait_seconds
+            .store(seconds.to_bits(), Ordering::Relaxed);
+        self.barrier_waits.store(waits, Ordering::Relaxed);
+    }
+
+    /// Records this worker's static data assignment.
+    pub fn set_ownership(&self, cubes: u64, fibers: u64) {
+        self.cubes_owned.store(cubes, Ordering::Relaxed);
+        self.fibers_owned.store(fibers, Ordering::Relaxed);
+    }
+
+    /// Reads the slot into a plain value (merge-on-read).
+    pub fn read(&self) -> ThreadTelemetry {
+        let mut kernel_seconds = [0.0; KernelId::COUNT];
+        for (out, slot) in kernel_seconds.iter_mut().zip(&self.kernel_seconds) {
+            *out = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
+        ThreadTelemetry {
+            kernel_seconds,
+            barrier_wait_seconds: f64::from_bits(self.barrier_wait_seconds.load(Ordering::Relaxed)),
+            barrier_waits: self.barrier_waits.load(Ordering::Relaxed),
+            cubes_owned: self.cubes_owned.load(Ordering::Relaxed),
+            fibers_owned: self.fibers_owned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lock-free per-thread metrics registry: one padded slot per worker,
+/// merged on read by [`MetricsRegistry::snapshot`].
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    slots: Box<[ThreadSlot]>,
+}
+
+impl MetricsRegistry {
+    /// Registry for `n_threads` workers.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads > 0, "registry needs at least one thread");
+        Self {
+            slots: (0..n_threads).map(|_| ThreadSlot::new()).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn n_threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Thread `tid`'s private slot.
+    pub fn slot(&self, tid: usize) -> &ThreadSlot {
+        &self.slots[tid]
+    }
+
+    /// Merges every slot into a [`RunTelemetry`] snapshot.
+    pub fn snapshot(&self, solver: &'static str, steps: u64, wall_seconds: f64) -> RunTelemetry {
+        RunTelemetry {
+            solver,
+            steps,
+            wall_seconds,
+            per_thread: self.slots.iter().map(ThreadSlot::read).collect(),
+        }
+    }
+}
+
+/// One thread's merged telemetry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ThreadTelemetry {
+    /// Busy seconds per kernel, [`KernelId::ALL`] order.
+    pub kernel_seconds: [f64; KernelId::COUNT],
+    /// Seconds spent waiting at barriers (cube solver: the three
+    /// `SpinBarrier::wait`s per step; omp: the implicit region joins;
+    /// dist: blocking halo/reduce receives).
+    pub barrier_wait_seconds: f64,
+    /// How many such waits were performed.
+    pub barrier_waits: u64,
+    /// Cubes owned (`cube2thread`; x-planes for dist, 0 for seq/omp).
+    pub cubes_owned: u64,
+    /// Fibers owned (`fiber2thread`).
+    pub fibers_owned: u64,
+}
+
+impl ThreadTelemetry {
+    /// Total busy seconds across all kernels.
+    pub fn busy_seconds(&self) -> f64 {
+        self.kernel_seconds.iter().sum()
+    }
+
+    fn merge(&mut self, other: &ThreadTelemetry) {
+        for (a, b) in self.kernel_seconds.iter_mut().zip(&other.kernel_seconds) {
+            *a += b;
+        }
+        self.barrier_wait_seconds += other.barrier_wait_seconds;
+        self.barrier_waits += other.barrier_waits;
+        // Ownership is a static property of the run, not a sum.
+        self.cubes_owned = self.cubes_owned.max(other.cubes_owned);
+        self.fibers_owned = self.fibers_owned.max(other.fibers_owned);
+    }
+}
+
+/// Merged telemetry of one [`crate::solver::Solver::run`] call, carried in
+/// [`crate::solver::RunReport::telemetry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunTelemetry {
+    /// Solver short name (`seq|omp|cube|dist`).
+    pub solver: &'static str,
+    /// Steps covered by this snapshot.
+    pub steps: u64,
+    /// Wall-clock seconds of the covered run.
+    pub wall_seconds: f64,
+    /// One entry per worker thread / rank.
+    pub per_thread: Vec<ThreadTelemetry>,
+}
+
+impl RunTelemetry {
+    /// Number of threads covered.
+    pub fn n_threads(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// CPU seconds spent in one kernel, summed over threads.
+    pub fn kernel_seconds(&self, kernel: KernelId) -> f64 {
+        self.per_thread
+            .iter()
+            .map(|t| t.kernel_seconds[kernel.index()])
+            .sum()
+    }
+
+    /// Per-kernel CPU-second totals in [`KernelId::ALL`] order.
+    pub fn kernel_totals(&self) -> [f64; KernelId::COUNT] {
+        let mut out = [0.0; KernelId::COUNT];
+        for t in &self.per_thread {
+            for (o, v) in out.iter_mut().zip(&t.kernel_seconds) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Total busy CPU seconds over all threads and kernels.
+    pub fn busy_seconds(&self) -> f64 {
+        self.per_thread
+            .iter()
+            .map(ThreadTelemetry::busy_seconds)
+            .sum()
+    }
+
+    /// Total barrier-wait seconds over all threads.
+    pub fn barrier_wait_seconds(&self) -> f64 {
+        self.per_thread.iter().map(|t| t.barrier_wait_seconds).sum()
+    }
+
+    /// Total number of barrier waits over all threads.
+    pub fn barrier_waits(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.barrier_waits).sum()
+    }
+
+    /// Barrier-wait share of the total accounted thread time:
+    /// `wait / (busy + wait)`, in `[0, 1]` (0 for a wait-free run).
+    pub fn barrier_wait_share(&self) -> f64 {
+        let wait = self.barrier_wait_seconds();
+        let denom = self.busy_seconds() + wait;
+        if denom > 0.0 {
+            wait / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Load-imbalance ratio: max per-thread busy time over the mean
+    /// (1.0 = perfectly balanced; the paper's Table II pathology shows up
+    /// as ratios well above 1).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .per_thread
+            .iter()
+            .map(ThreadTelemetry::busy_seconds)
+            .collect();
+        let max = busy.iter().copied().fold(0.0, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Merges a subsequent run's telemetry into this one (per-thread sums;
+    /// the thread lists are padded to the longer of the two).
+    pub fn merge(&mut self, other: &RunTelemetry) {
+        if other.per_thread.len() > self.per_thread.len() {
+            self.per_thread
+                .resize(other.per_thread.len(), ThreadTelemetry::default());
+        }
+        for (a, b) in self.per_thread.iter_mut().zip(&other.per_thread) {
+            a.merge(b);
+        }
+        self.steps += other.steps;
+        self.wall_seconds += other.wall_seconds;
+    }
+
+    /// One-line human summary for progress logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "telemetry: {} threads, busy {:.3}s, barrier wait {:.3}s ({:.1}% share, {} waits), imbalance ratio {:.3}",
+            self.n_threads(),
+            self.busy_seconds(),
+            self.barrier_wait_seconds(),
+            100.0 * self.barrier_wait_share(),
+            self.barrier_waits(),
+            self.imbalance_ratio()
+        )
+    }
+
+    /// Serialises the snapshot as a self-contained JSON document (no serde
+    /// in the workspace; numbers use Rust's shortest-round-trip `Debug`
+    /// float form, which is valid JSON; non-finite values become `null`).
+    pub fn to_json(&self) -> String {
+        let totals = self.kernel_totals();
+        let total_busy: f64 = totals.iter().sum();
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"solver\": \"{}\",\n", self.solver));
+        out.push_str(&format!("  \"steps\": {},\n", self.steps));
+        out.push_str(&format!("  \"wall_seconds\": {},\n", jf(self.wall_seconds)));
+        out.push_str(&format!("  \"n_threads\": {},\n", self.n_threads()));
+        out.push_str(&format!(
+            "  \"imbalance_ratio\": {},\n",
+            jf(self.imbalance_ratio())
+        ));
+        out.push_str(&format!(
+            "  \"barrier_wait_seconds\": {},\n",
+            jf(self.barrier_wait_seconds())
+        ));
+        out.push_str(&format!(
+            "  \"barrier_wait_share\": {},\n",
+            jf(self.barrier_wait_share())
+        ));
+        out.push_str(&format!(
+            "  \"total_barrier_waits\": {},\n",
+            self.barrier_waits()
+        ));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in KernelId::ALL.iter().enumerate() {
+            let share = if total_busy > 0.0 {
+                totals[k.index()] / total_busy
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "    {{\"kernel\": {}, \"name\": \"{}\", \"seconds\": {}, \"share\": {}}}{}\n",
+                k.paper_number(),
+                k.paper_name(),
+                jf(totals[k.index()]),
+                jf(share),
+                if i + 1 < KernelId::COUNT { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"threads\": [\n");
+        for (t, tt) in self.per_thread.iter().enumerate() {
+            let kernels: Vec<String> = tt.kernel_seconds.iter().map(|&s| jf(s)).collect();
+            out.push_str(&format!(
+                "    {{\"thread\": {}, \"busy_seconds\": {}, \"barrier_wait_seconds\": {}, \"barrier_waits\": {}, \"cubes_owned\": {}, \"fibers_owned\": {}, \"kernel_seconds\": [{}]}}{}\n",
+                t,
+                jf(tt.busy_seconds()),
+                jf(tt.barrier_wait_seconds),
+                tt.barrier_waits,
+                tt.cubes_owned,
+                tt.fibers_owned,
+                kernels.join(", "),
+                if t + 1 < self.per_thread.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON float formatting: shortest round-trip form, `null` for non-finite.
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// In-solver run-health checks, configured by
+/// [`crate::config::WatchdogConfig`]. The first [`Watchdog::observe`] call
+/// arms the reference mass; every later call re-checks the stability
+/// invariants and converts the first violation into
+/// [`SolverError::Unstable`].
+#[derive(Debug)]
+pub struct Watchdog {
+    initial_mass: Option<f64>,
+}
+
+impl Watchdog {
+    /// Fresh, unarmed watchdog.
+    pub fn new() -> Self {
+        Self { initial_mass: None }
+    }
+
+    /// Checks `state` against the stability invariants (NaN, max
+    /// velocity, mass drift — the shared limits in [`crate::diagnostics`]).
+    /// The first call records the reference mass.
+    pub fn observe(&mut self, state: &SimState) -> Result<(), SolverError> {
+        let d = diagnostics(state);
+        let initial = *self.initial_mass.get_or_insert(d.mass);
+        d.check_stability(initial)
+            .map_err(|reason| SolverError::Unstable {
+                step: d.step,
+                reason,
+            })
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new(2);
+        reg.slot(0)
+            .store_kernel_seconds(&[1.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        reg.slot(0).store_barrier_wait(0.5, 30);
+        reg.slot(0).set_ownership(6, 4);
+        reg.slot(1)
+            .store_kernel_seconds(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        reg.slot(1).store_barrier_wait(1.5, 30);
+        reg.slot(1).set_ownership(2, 4);
+        reg
+    }
+
+    #[test]
+    fn slots_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<ThreadSlot>(), 128);
+        assert_eq!(std::mem::size_of::<ThreadSlot>() % 128, 0);
+    }
+
+    #[test]
+    fn snapshot_merges_on_read() {
+        let t = filled_registry().snapshot("cube", 10, 4.5);
+        assert_eq!(t.n_threads(), 2);
+        assert_eq!(t.steps, 10);
+        assert_eq!(t.kernel_seconds(KernelId::Collision), 4.0);
+        assert_eq!(t.kernel_seconds(KernelId::BendingForce), 1.0);
+        assert_eq!(t.busy_seconds(), 6.0);
+        assert_eq!(t.barrier_wait_seconds(), 2.0);
+        assert_eq!(t.barrier_waits(), 60);
+        // wait / (busy + wait) = 2 / 8.
+        assert!((t.barrier_wait_share() - 0.25).abs() < 1e-12);
+        // busy: [4, 2] → max 4, mean 3 → ratio 4/3.
+        assert!((t.imbalance_ratio() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.per_thread[0].cubes_owned, 6);
+        assert_eq!(t.per_thread[1].fibers_owned, 4);
+    }
+
+    #[test]
+    fn add_kernel_seconds_accumulates() {
+        let reg = MetricsRegistry::new(1);
+        reg.slot(0).add_kernel_seconds(KernelId::Stream, 0.25);
+        reg.slot(0).add_kernel_seconds(KernelId::Stream, 0.5);
+        let t = reg.snapshot("seq", 1, 1.0);
+        assert_eq!(t.kernel_seconds(KernelId::Stream), 0.75);
+    }
+
+    #[test]
+    fn merge_accumulates_chunks() {
+        let mut a = filled_registry().snapshot("cube", 10, 4.5);
+        let b = filled_registry().snapshot("cube", 5, 1.5);
+        a.merge(&b);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.wall_seconds, 6.0);
+        assert_eq!(a.busy_seconds(), 12.0);
+        assert_eq!(a.barrier_waits(), 120);
+        // Ownership is static, not summed.
+        assert_eq!(a.per_thread[0].cubes_owned, 6);
+    }
+
+    #[test]
+    fn degenerate_telemetry_has_safe_ratios() {
+        let t = MetricsRegistry::new(3).snapshot("cube", 0, 0.0);
+        assert_eq!(t.barrier_wait_share(), 0.0);
+        assert_eq!(t.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn json_has_all_kernels_and_threads() {
+        let json = filled_registry().snapshot("cube", 10, 4.5).to_json();
+        assert!(json.contains("\"solver\": \"cube\""));
+        assert!(json.contains("\"barrier_wait_share\""));
+        assert!(json.contains("\"imbalance_ratio\""));
+        assert!(json.contains("compute_fluid_collision"));
+        assert!(json.contains("fused_collide_stream"));
+        assert_eq!(json.matches("\"kernel\":").count(), KernelId::COUNT);
+        assert_eq!(json.matches("\"thread\":").count(), 2);
+        // Structural sanity: balanced braces/brackets, even quote count.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_floats_are_finite_or_null() {
+        assert_eq!(jf(1.5), "1.5");
+        assert_eq!(jf(1e-7), "1e-7");
+        assert_eq!(jf(f64::NAN), "null");
+        assert_eq!(jf(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn watchdog_arms_then_flags_nan() {
+        use crate::config::SimulationConfig;
+        let state = SimState::new(SimulationConfig::quick_test());
+        let mut dog = Watchdog::new();
+        dog.observe(&state).unwrap();
+        let mut bad = state.clone();
+        bad.fluid.ux[7] = f64::NAN;
+        match dog.observe(&bad) {
+            Err(SolverError::Unstable { reason, .. }) => {
+                assert!(reason.contains("NaN"), "{reason}")
+            }
+            other => panic!("expected Unstable, got {other:?}"),
+        }
+        // The original state still passes.
+        dog.observe(&state).unwrap();
+    }
+}

@@ -21,10 +21,31 @@ pub struct TuneReport {
     pub probes: Vec<ProbeResult>,
 }
 
+/// Why an auto-tuning sweep could not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TuneError {
+    /// No cube edge ≥ 2 divides every grid extent (or none of the caller's
+    /// candidates does), so there is nothing to probe.
+    NoLegalCubeEdge { nx: usize, ny: usize, nz: usize },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NoLegalCubeEdge { nx, ny, nz } => {
+                write!(f, "no legal cube edge for grid {nx}x{ny}x{nz}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
 impl TuneReport {
-    /// The winning cube edge.
-    pub fn best_k(&self) -> usize {
-        self.probes[0].cube_k
+    /// The winning cube edge, or `None` for an empty sweep (a report from
+    /// [`autotune_cube_k`] always has at least one probe).
+    pub fn best_k(&self) -> Option<usize> {
+        self.probes.first().map(|p| p.cube_k)
     }
 
     /// Human-readable table.
@@ -50,25 +71,27 @@ pub fn legal_cube_edges(config: &SimulationConfig) -> Vec<usize> {
 /// Times `probe_steps` of the cube solver for each legal cube edge (or the
 /// given candidates) and returns the sweep sorted by speed. The probes run
 /// the real solver on the real input, so the choice reflects the machine
-/// it runs on — the point of auto-tuning.
+/// it runs on — the point of auto-tuning. An empty candidate set (a prime
+/// grid, or caller candidates that all fail to divide it) is a
+/// [`TuneError`], not a panic.
 pub fn autotune_cube_k(
     config: SimulationConfig,
     n_threads: usize,
     candidates: Option<&[usize]>,
     probe_steps: u64,
-) -> TuneReport {
+) -> Result<TuneReport, TuneError> {
     let legal = legal_cube_edges(&config);
     let ks: Vec<usize> = match candidates {
         Some(c) => c.iter().copied().filter(|k| legal.contains(k)).collect(),
         None => legal,
     };
-    assert!(
-        !ks.is_empty(),
-        "no legal cube edge for grid {}x{}x{}",
-        config.nx,
-        config.ny,
-        config.nz
-    );
+    if ks.is_empty() {
+        return Err(TuneError::NoLegalCubeEdge {
+            nx: config.nx,
+            ny: config.ny,
+            nz: config.nz,
+        });
+    }
     let mut probes = Vec::with_capacity(ks.len());
     for k in ks {
         let mut cfg = config;
@@ -83,7 +106,7 @@ pub fn autotune_cube_k(
         });
     }
     probes.sort_by(|a, b| a.seconds_per_step.total_cmp(&b.seconds_per_step));
-    TuneReport { probes }
+    Ok(TuneReport { probes })
 }
 
 #[cfg(test)]
@@ -106,28 +129,43 @@ mod tests {
     #[test]
     fn autotune_probes_all_candidates_and_picks_fastest() {
         let cfg = SimulationConfig::quick_test();
-        let report = autotune_cube_k(cfg, 2, Some(&[2, 4, 8]), 2);
+        let report = autotune_cube_k(cfg, 2, Some(&[2, 4, 8]), 2).unwrap();
         assert_eq!(report.probes.len(), 3);
         // Sorted ascending by time; the best is first.
         for w in report.probes.windows(2) {
             assert!(w[0].seconds_per_step <= w[1].seconds_per_step);
         }
-        assert_eq!(report.best_k(), report.probes[0].cube_k);
+        assert_eq!(report.best_k(), Some(report.probes[0].cube_k));
         assert!(report.table().contains("cube_k"));
     }
 
     #[test]
     fn illegal_candidates_are_filtered() {
         let cfg = SimulationConfig::quick_test(); // 24x16x16: 5 never divides
-        let report = autotune_cube_k(cfg, 1, Some(&[4, 5]), 1);
+        let report = autotune_cube_k(cfg, 1, Some(&[4, 5]), 1).unwrap();
         assert_eq!(report.probes.len(), 1);
-        assert_eq!(report.best_k(), 4);
+        assert_eq!(report.best_k(), Some(4));
     }
 
     #[test]
-    #[should_panic(expected = "no legal cube edge")]
-    fn empty_candidate_set_panics() {
+    fn empty_candidate_set_is_an_error_not_a_panic() {
         let cfg = SimulationConfig::quick_test();
-        autotune_cube_k(cfg, 1, Some(&[5, 7]), 1);
+        let err = autotune_cube_k(cfg, 1, Some(&[5, 7]), 1).unwrap_err();
+        assert_eq!(
+            err,
+            TuneError::NoLegalCubeEdge {
+                nx: 24,
+                ny: 16,
+                nz: 16
+            }
+        );
+        assert!(err.to_string().contains("no legal cube edge"), "{err}");
+    }
+
+    #[test]
+    fn empty_report_has_no_best_k() {
+        let report = TuneReport { probes: Vec::new() };
+        assert_eq!(report.best_k(), None); // used to index probes[0] and panic
+        assert!(report.table().contains("cube_k"));
     }
 }

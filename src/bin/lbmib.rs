@@ -10,6 +10,7 @@
 //!       [--steps N] [--threads N] [--nx N --ny N --nz N] [--tau T]
 //!       [--gx G] [--sheet N] [--sheet-extent E] [--tether none|center|edge]
 //!       [--cube-k K] [--out DIR] [--report-every N] [--profile]
+//!       [--metrics FILE] [--watchdog-every N]
 //! ```
 //!
 //! Examples:
@@ -19,6 +20,8 @@
 //! lbmib --preset quick --autotune            # pick the best cube edge first
 //! lbmib --preset quick --steps 500 --save run.ckpt
 //! lbmib --resume run.ckpt --steps 500        # continue bit-exactly
+//! lbmib --preset quick --metrics run.json    # per-thread kernel telemetry
+//! lbmib --preset quick --watchdog-every 16   # in-solver stability checks
 //! ```
 
 use std::fs::File;
@@ -124,9 +127,13 @@ fn main() {
     let solver_name = args.get_or("solver", "cube".to_string());
 
     if args.flag("autotune") && solver_name == "cube" {
-        let report = lbm_ib::tuning::autotune_cube_k(config, threads, None, 3);
+        let report =
+            lbm_ib::tuning::autotune_cube_k(config, threads, None, 3).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
         println!("auto-tuning cube edge:\n{}", report.table());
-        config.cube_k = report.best_k();
+        config.cube_k = report.best_k().unwrap_or(config.cube_k);
         println!("selected cube_k = {}", config.cube_k);
     }
 
@@ -144,8 +151,12 @@ fn main() {
         steps
     );
 
+    let metrics_path: Option<PathBuf> = args.get::<String>("metrics").map(PathBuf::from);
     let mut initial_state = resumed_state.unwrap_or_else(|| SimState::new(config));
     initial_state.config.plan = config.plan; // resumed checkpoints default to Split
+    if let Some(every) = args.get::<u64>("watchdog-every") {
+        initial_state.config.watchdog = Some(lbm_ib::WatchdogConfig { check_every: every });
+    }
     if initial_state.step > 0 {
         println!("resumed at step {}", initial_state.step);
     }
@@ -154,6 +165,9 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
+    if metrics_path.is_some() {
+        solver.set_telemetry(true);
+    }
 
     let out_dir: Option<PathBuf> = args.get::<String>("out").map(PathBuf::from);
     let mut traj = out_dir.as_ref().map(|dir| {
@@ -170,6 +184,10 @@ fn main() {
     while report.steps < steps {
         let n = report_every.min(steps - report.steps);
         let chunk = solver.run(n).unwrap_or_else(|e| {
+            if matches!(e, lbm_ib::SolverError::Unstable { .. }) {
+                eprintln!("UNSTABLE: {e}");
+                std::process::exit(2);
+            }
             eprintln!("error: {e}");
             std::process::exit(1);
         });
@@ -195,6 +213,19 @@ fn main() {
         report.steps as f64 * state.fluid.n() as f64 / wall / 1e6
     );
 
+    if let Some(path) = &metrics_path {
+        match &report.telemetry {
+            Some(t) => {
+                std::fs::write(path, t.to_json()).expect("write metrics file");
+                println!("\n{}", t.summary());
+                println!("telemetry written to {}", path.display());
+            }
+            None => eprintln!(
+                "warning: solver produced no telemetry; {} not written",
+                path.display()
+            ),
+        }
+    }
     if let Some(path) = args.get::<String>("save") {
         lbm_ib::checkpoint::save(&state, std::path::Path::new(&path)).expect("save checkpoint");
         println!("checkpoint written to {path}");
