@@ -1,11 +1,29 @@
 //! A centralized spinning barrier with generation counting (the classic
 //! sense-reversing design, see *Rust Atomics and Locks* ch. 9 for the
 //! memory-ordering reasoning). Algorithm 4 executes three of these per time
-//! step; for fine-grained HPC phases a spinning barrier beats the parking
-//! `std::sync::Barrier`, which the solver also supports for comparison
-//! (the barrier ablation benchmark measures the difference).
+//! step; for fine-grained HPC phases a spinning barrier beats a parking
+//! barrier, which the solver also supports for comparison (the barrier
+//! ablation benchmark measures the difference).
+//!
+//! Both flavours support **poisoning**: a worker that panics marks the
+//! barrier dead before unwinding, and every sibling blocked (or about to
+//! block) in `wait_checked` returns [`BarrierPoisoned`] instead of
+//! spinning forever on a rendezvous that can no longer complete. A
+//! poisoned barrier stays poisoned.
 
 use crate::sync_shim::{spin_wait, yield_wait, AtomicUsize, Ordering};
+
+/// A sibling thread panicked: the rendezvous can never complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+impl std::fmt::Display for BarrierPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "barrier poisoned: a participating thread panicked")
+    }
+}
+
+impl std::error::Error for BarrierPoisoned {}
 
 /// Spinning barrier for a fixed set of `n` threads.
 ///
@@ -19,6 +37,9 @@ pub struct SpinBarrier {
     n: usize,
     count: AtomicUsize,
     generation: AtomicUsize,
+    /// 0 = healthy, 1 = poisoned. Checked on entry and inside the spin
+    /// loop so a panicking sibling releases every waiter.
+    poison: AtomicUsize,
 }
 
 impl SpinBarrier {
@@ -29,6 +50,7 @@ impl SpinBarrier {
             n,
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            poison: AtomicUsize::new(0),
         }
     }
 
@@ -37,19 +59,56 @@ impl SpinBarrier {
         self.n
     }
 
+    /// Marks the barrier permanently dead, releasing all current and
+    /// future waiters with [`BarrierPoisoned`]. Called by a panicking
+    /// worker *before* it unwinds past its barrier discipline.
+    pub fn poison(&self) {
+        self.poison.store(1, Ordering::Release);
+    }
+
+    /// True once any participant has poisoned the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire) != 0
+    }
+
     /// Blocks (spinning) until all `n` threads have called `wait` for the
     /// current generation. Returns `true` on exactly one thread per
     /// generation (the "leader", the last arriver).
+    ///
+    /// Panics if the barrier is (or becomes) poisoned — use
+    /// [`SpinBarrier::wait_checked`] to handle that as a value.
     pub fn wait(&self) -> bool {
+        self.wait_checked().expect("barrier poisoned")
+    }
+
+    /// [`SpinBarrier::wait`], but a poisoned barrier returns
+    /// `Err(BarrierPoisoned)` instead of panicking — on entry and from
+    /// inside the spin loop, so no thread is left spinning on a
+    /// rendezvous a dead sibling can never join.
+    pub fn wait_checked(&self) -> Result<bool, BarrierPoisoned> {
+        if self.is_poisoned() {
+            return Err(BarrierPoisoned);
+        }
         let gen = self.generation.load(Ordering::Acquire);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.n {
             self.count.store(0, Ordering::Relaxed);
             self.generation.fetch_add(1, Ordering::Release);
-            true
+            Ok(true)
         } else {
             let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
+            loop {
+                // Poison first, generation last: the generation probe must
+                // be the final visible operation before the spin hint, so
+                // that (under the loom model, where every atomic access is
+                // a scheduling point) a release of the barrier landing
+                // between the probe and the park still wakes this waiter.
+                if self.is_poisoned() {
+                    return Err(BarrierPoisoned);
+                }
+                if self.generation.load(Ordering::Acquire) != gen {
+                    break;
+                }
                 spins += 1;
                 if spins < 64 {
                     spin_wait();
@@ -61,7 +120,77 @@ impl SpinBarrier {
                     yield_wait();
                 }
             }
-            false
+            Ok(false)
+        }
+    }
+}
+
+/// Parking barrier (mutex + condvar) with the same poisoning protocol as
+/// [`SpinBarrier`]. Replaces `std::sync::Barrier`, which cannot be
+/// poisoned and therefore hangs forever when a participant dies.
+pub struct ParkingBarrier {
+    n: usize,
+    state: std::sync::Mutex<ParkState>,
+    cv: std::sync::Condvar,
+}
+
+struct ParkState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl ParkingBarrier {
+    /// Barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one thread");
+        Self {
+            n,
+            state: std::sync::Mutex::new(ParkState {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ParkState> {
+        // The barrier's own poison flag is the failure channel; a
+        // lock-poisoning panic inside this module can't leave the state
+        // torn (all mutations are single assignments).
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Marks the barrier permanently dead and wakes every parked waiter.
+    pub fn poison(&self) {
+        self.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks until all `n` threads arrive; `Err(BarrierPoisoned)` if the
+    /// barrier is (or becomes) poisoned.
+    pub fn wait_checked(&self) -> Result<bool, BarrierPoisoned> {
+        let mut s = self.lock();
+        if s.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(true);
+        }
+        let gen = s.generation;
+        loop {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            if s.poisoned {
+                return Err(BarrierPoisoned);
+            }
+            if s.generation != gen {
+                return Ok(false);
+            }
         }
     }
 }
@@ -72,14 +201,14 @@ pub enum BarrierKind {
     /// [`SpinBarrier`] (default; spin-then-yield).
     #[default]
     Spin,
-    /// `std::sync::Barrier` (parks the thread in the OS).
+    /// [`ParkingBarrier`] (parks the thread in the OS).
     Std,
 }
 
 /// Either barrier behind one `wait()` interface.
 pub enum PhaseBarrier {
     Spin(SpinBarrier),
-    Std(std::sync::Barrier),
+    Std(ParkingBarrier),
 }
 
 impl PhaseBarrier {
@@ -87,26 +216,47 @@ impl PhaseBarrier {
     pub fn new(kind: BarrierKind, n: usize) -> Self {
         match kind {
             BarrierKind::Spin => PhaseBarrier::Spin(SpinBarrier::new(n)),
-            BarrierKind::Std => PhaseBarrier::Std(std::sync::Barrier::new(n)),
+            BarrierKind::Std => PhaseBarrier::Std(ParkingBarrier::new(n)),
+        }
+    }
+
+    /// Marks the barrier permanently dead, releasing every waiter with
+    /// [`BarrierPoisoned`].
+    pub fn poison(&self) {
+        match self {
+            PhaseBarrier::Spin(b) => b.poison(),
+            PhaseBarrier::Std(b) => b.poison(),
         }
     }
 
     /// Waits for all threads; returns `true` on one leader thread.
+    /// Panics if the barrier is poisoned.
     pub fn wait(&self) -> bool {
+        self.wait_checked().expect("barrier poisoned")
+    }
+
+    /// Waits for all threads, surfacing poisoning as a value.
+    pub fn wait_checked(&self) -> Result<bool, BarrierPoisoned> {
         match self {
-            PhaseBarrier::Spin(b) => b.wait(),
-            PhaseBarrier::Std(b) => b.wait().is_leader(),
+            PhaseBarrier::Spin(b) => b.wait_checked(),
+            PhaseBarrier::Std(b) => b.wait_checked(),
         }
     }
 
-    /// [`PhaseBarrier::wait`] plus the time this thread spent inside the
-    /// wait — the telemetry probe for the paper's three-barriers-per-step
-    /// overhead. The timing is per-caller: the last arriver (the leader)
-    /// measures ~0, the first arriver measures the full straggler gap.
-    pub fn wait_timed(&self) -> (bool, std::time::Duration) {
+    /// [`PhaseBarrier::wait_checked`] plus the time this thread spent
+    /// inside the wait — the telemetry probe for the paper's
+    /// three-barriers-per-step overhead. The timing is per-caller: the
+    /// last arriver (the leader) measures ~0, the first arriver measures
+    /// the full straggler gap.
+    pub fn wait_timed_checked(&self) -> Result<(bool, std::time::Duration), BarrierPoisoned> {
         let t0 = std::time::Instant::now();
-        let leader = self.wait();
-        (leader, t0.elapsed())
+        let leader = self.wait_checked()?;
+        Ok((leader, t0.elapsed()))
+    }
+
+    /// [`PhaseBarrier::wait_timed_checked`], panicking on poison.
+    pub fn wait_timed(&self) -> (bool, std::time::Duration) {
+        self.wait_timed_checked().expect("barrier poisoned")
     }
 }
 
@@ -210,5 +360,43 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn poison_releases_spinning_waiter() {
+        let b = SpinBarrier::new(2);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| b.wait_checked());
+            // Let the waiter enter the spin loop, then kill the barrier
+            // instead of ever arriving (as a panicking sibling would).
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            b.poison();
+            assert_eq!(waiter.join().unwrap(), Err(BarrierPoisoned));
+        });
+        // The barrier stays dead for all future arrivals.
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn poison_releases_parked_waiter() {
+        let b = ParkingBarrier::new(2);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| b.wait_checked());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            b.poison();
+            assert_eq!(waiter.join().unwrap(), Err(BarrierPoisoned));
+        });
+        assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn phase_barrier_poison_is_an_error_not_a_hang() {
+        for kind in [BarrierKind::Spin, BarrierKind::Std] {
+            let b = PhaseBarrier::new(kind, 3);
+            b.poison();
+            assert_eq!(b.wait_checked(), Err(BarrierPoisoned));
+            assert!(b.wait_timed_checked().is_err());
+        }
     }
 }

@@ -4,12 +4,22 @@
 //!
 //! The format is a versioned little-endian binary layout written by this
 //! module (no external serialization crate): magic, version, config,
-//! fluid arrays, structure arrays, step counter, and a trailing length
-//! guard. Loading validates magic, version and sizes and fails loudly on
-//! corruption or truncation.
+//! fluid arrays, structure arrays, step counter, a trailing length
+//! guard, and a CRC-32 over everything before it. Loading validates
+//! magic, version, sizes and the checksum and fails loudly on corruption
+//! or truncation.
+//!
+//! # Crash consistency
+//!
+//! [`save`] never leaves a torn file at the final path: the checkpoint is
+//! written to a temporary sibling, fsynced, and atomically renamed into
+//! place. An existing checkpoint is first rotated to `<path>.prev`, and
+//! [`resume`] falls back to that previous snapshot when the primary file
+//! is corrupt or missing (e.g. the process was killed between the two
+//! renames).
 
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use ib::delta::DeltaKind;
 use ib::sheet::FiberSheet;
@@ -21,7 +31,7 @@ use crate::config::{SheetConfig, SimulationConfig, TetherConfig};
 use crate::state::SimState;
 
 const MAGIC: &[u8; 8] = b"LBMIB\0\0\x01";
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
 
 /// Sanity bounds on header dimensions, checked **before** any allocation
 /// sized from them. A corrupt or hostile header used to drive
@@ -49,6 +59,12 @@ pub enum CheckpointError {
     Io(io::Error),
     /// Not a checkpoint file, or a different format version.
     Format(String),
+    /// The payload decoded but its CRC-32 does not match: silent on-disk
+    /// corruption (bit rot, torn write that still parses).
+    Crc {
+        expected: u32,
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -56,6 +72,10 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+            CheckpointError::Crc { expected, found } => write!(
+                f,
+                "checkpoint CRC mismatch: payload hashes to {expected:#010x}, trailer says {found:#010x}"
+            ),
         }
     }
 }
@@ -65,6 +85,104 @@ impl std::error::Error for CheckpointError {}
 impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, table-driven, no external crates).
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// Writer that folds every byte it forwards into a running CRC-32.
+struct CrcWriter<W: Write> {
+    inner: W,
+    state: u32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            state: 0xFFFF_FFFF,
+        }
+    }
+    fn digest(&self) -> u32 {
+        !self.state
+    }
+    /// Direct access to the underlying writer, bypassing the CRC (used to
+    /// append the CRC trailer itself).
+    fn raw(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.state = crc32_update(self.state, &buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader that folds every byte it yields into a running CRC-32.
+struct CrcReader<R: Read> {
+    inner: R,
+    state: u32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            state: 0xFFFF_FFFF,
+        }
+    }
+    fn digest(&self) -> u32 {
+        !self.state
+    }
+    /// Direct access to the underlying reader, bypassing the CRC (used to
+    /// read the CRC trailer itself).
+    fn raw(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.state = crc32_update(self.state, &buf[..n]);
+        Ok(n)
     }
 }
 
@@ -200,7 +318,7 @@ fn delta_from(code: u64) -> Result<DeltaKind, CheckpointError> {
 
 /// Writes a checkpoint of `state` to `w`.
 pub fn write_checkpoint<W: Write>(state: &SimState, w: W) -> io::Result<()> {
-    let mut e = Enc(io::BufWriter::new(w));
+    let mut e = Enc(CrcWriter::new(io::BufWriter::new(w)));
     e.0.write_all(MAGIC)?;
     e.u64(VERSION)?;
 
@@ -280,19 +398,26 @@ pub fn write_checkpoint<W: Write>(state: &SimState, w: W) -> io::Result<()> {
 
     e.u64(state.step)?;
     e.u64(0xC0DA_F00D_u64)?; // trailing guard
+
+    // CRC-32 over everything above, appended outside the digest.
+    let crc = e.0.digest();
+    e.0.raw().write_all(&(crc as u64).to_le_bytes())?;
     e.0.flush()
 }
 
 /// Reads a checkpoint from `r`.
 pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
-    let mut d = Dec(io::BufReader::new(r));
+    let mut d = Dec(CrcReader::new(io::BufReader::new(r)));
     let mut magic = [0u8; 8];
     d.0.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
-    if d.u64()? != VERSION {
-        return Err(CheckpointError::Format("unsupported version".into()));
+    let version = d.u64()?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
     }
 
     let nx = bounded(d.u64()?, MAX_EXTENT, "nx")?;
@@ -356,11 +481,12 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
             tether,
         },
         cube_k,
-        // The kernel plan and watchdog cadence are runtime execution
-        // choices, not physics: a resumed run uses whatever the caller
-        // configures.
+        // The kernel plan, watchdog cadence and halo timeout are runtime
+        // execution choices, not physics: a resumed run uses whatever the
+        // caller configures.
         plan: crate::config::KernelPlan::Split,
         watchdog: None,
+        halo_timeout: None,
     };
     config
         .validate()
@@ -429,6 +555,16 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
         ));
     }
 
+    // CRC trailer: everything up to here contributed to the digest; the
+    // trailer itself is read around the hasher.
+    let expected = d.0.digest();
+    let mut trailer = [0u8; 8];
+    d.0.raw().read_exact(&mut trailer)?;
+    let found = u64::from_le_bytes(trailer) as u32;
+    if found != expected {
+        return Err(CheckpointError::Crc { expected, found });
+    }
+
     Ok(SimState {
         config,
         fluid,
@@ -438,14 +574,91 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<SimState, CheckpointError> {
     })
 }
 
-/// Saves a checkpoint file.
-pub fn save(state: &SimState, path: &Path) -> io::Result<()> {
-    write_checkpoint(state, std::fs::File::create(path)?)
+/// The sibling path an existing checkpoint is rotated to before the new
+/// one is renamed into place. [`resume`] falls back to it.
+pub fn prev_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".prev");
+    path.with_file_name(name)
 }
 
-/// Loads a checkpoint file.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsyncs the directory containing `path` so the renames themselves are
+/// durable. Best-effort: not every platform lets you open a directory.
+fn sync_parent_dir(path: &Path) {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Saves a checkpoint file crash-consistently.
+///
+/// Protocol: write `<path>.tmp`, flush + fsync it, rotate any existing
+/// checkpoint to `<path>.prev`, then atomically rename the temp file into
+/// place and fsync the directory. A crash at any point leaves either the
+/// old checkpoint at `path`, or the new one at `path` (possibly with the
+/// old one at `.prev`) — never a torn file at the final path.
+pub fn save(state: &SimState, path: &Path) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let file = std::fs::File::create(&tmp)?;
+        write_checkpoint(state, &file)?;
+        file.sync_all()?;
+    }
+    // Deterministic corruption point for the chaos tests: damage the temp
+    // file *after* the fsync, as a torn physical write would.
+    crate::faultinject::corrupt_checkpoint_file(&tmp)?;
+    if path.exists() {
+        std::fs::rename(path, prev_path(path))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Loads a checkpoint file (the exact file named — no fallback).
 pub fn load(path: &Path) -> Result<SimState, CheckpointError> {
     read_checkpoint(std::fs::File::open(path)?)
+}
+
+/// Which snapshot [`resume`] actually loaded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumeSource {
+    /// The checkpoint at the requested path.
+    Primary,
+    /// The rotated `<path>.prev` snapshot — the primary was corrupt,
+    /// truncated, or missing.
+    Fallback,
+}
+
+/// Loads `path`, falling back to the rotated `<path>.prev` snapshot when
+/// the primary is unreadable (torn, bit-flipped, or missing after a crash
+/// between the two renames of [`save`]). Returns the primary's error when
+/// both fail.
+pub fn resume(path: &Path) -> Result<(SimState, ResumeSource), CheckpointError> {
+    let primary_err = match load(path) {
+        Ok(state) => return Ok((state, ResumeSource::Primary)),
+        Err(e) => e,
+    };
+    match load(&prev_path(path)) {
+        Ok(state) => Ok((state, ResumeSource::Fallback)),
+        Err(_) => Err(primary_err),
+    }
 }
 
 #[cfg(test)]
@@ -463,6 +676,13 @@ mod tests {
         let mut s = SequentialSolver::new(cfg);
         s.run(7);
         s.state
+    }
+
+    /// Unique scratch directory per test so parallel tests don't collide.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbmib_ckpt_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -512,6 +732,17 @@ mod tests {
     }
 
     #[test]
+    fn old_version_rejected() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        patch_u64(&mut buf, 8, 1);
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("version"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn truncation_rejected() {
         let mut buf = Vec::new();
         write_checkpoint(&evolved_state(), &mut buf).unwrap();
@@ -526,12 +757,40 @@ mod tests {
         write_checkpoint(&state, &mut buf).unwrap();
         // The first array length sits right after the config block; flip a
         // byte deep in the file instead and require *some* failure, then
-        // specifically corrupt the trailing guard.
-        let guard_pos = buf.len() - 8;
+        // specifically corrupt the trailing guard (now followed by the
+        // 8-byte CRC trailer).
+        let guard_pos = buf.len() - 16;
         buf[guard_pos] ^= 0x01;
         match read_checkpoint(&buf[..]) {
             Err(CheckpointError::Format(m)) => assert!(m.contains("guard")),
             other => panic!("expected guard failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_caught_by_crc() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        // Deep inside the `f` distribution array: the flipped f64 still
+        // decodes, every length check passes, the guard matches — only the
+        // checksum can catch it.
+        let pos = buf.len() / 2;
+        buf[pos] ^= 0x10;
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Crc { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected CRC failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_crc_trailer_rejected() {
+        let mut buf = Vec::new();
+        write_checkpoint(&evolved_state(), &mut buf).unwrap();
+        let last = buf.len() - 8;
+        buf[last] ^= 0x01;
+        match read_checkpoint(&buf[..]) {
+            Err(CheckpointError::Crc { .. }) => {}
+            other => panic!("expected CRC failure, got {other:?}"),
         }
     }
 
@@ -616,9 +875,9 @@ mod tests {
         );
         let mut buf = Vec::new();
         write_checkpoint(&state, &mut buf).unwrap();
-        // Trailing layout: ... last tether (node@-56, anchor, stiffness),
-        // step(8), guard(8).
-        let node_off = buf.len() - 16 - 40;
+        // Trailing layout: ... last tether (node@-64, anchor, stiffness),
+        // step(8), guard(8), crc(8).
+        let node_off = buf.len() - 24 - 40;
         let old = read_u64(&buf, node_off);
         assert!(old < 64, "tether node offset drifted (read {old})");
         patch_u64(&mut buf, node_off, 1 << 40);
@@ -631,10 +890,79 @@ mod tests {
     #[test]
     fn file_save_load() {
         let state = evolved_state();
-        let path = std::env::temp_dir().join("lbmib_checkpoint_test.ckpt");
+        let dir = scratch_dir("save_load");
+        let path = dir.join("test.ckpt");
         save(&state, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.fluid.f, state.fluid.f);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_rotates_previous_checkpoint() {
+        let dir = scratch_dir("rotate");
+        let path = dir.join("run.ckpt");
+
+        let cfg = SimulationConfig::quick_test();
+        let mut s = SequentialSolver::new(cfg);
+        s.run(3);
+        save(&s.state, &path).unwrap();
+        s.run(3);
+        save(&s.state, &path).unwrap();
+
+        let primary = load(&path).unwrap();
+        let previous = load(&prev_path(&path)).unwrap();
+        assert_eq!(primary.step, 6);
+        assert_eq!(previous.step, 3);
+        assert!(!tmp_path(&path).exists(), "temp file must not linger");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_falls_back_to_previous_good_checkpoint() {
+        let dir = scratch_dir("fallback");
+        let path = dir.join("run.ckpt");
+
+        let cfg = SimulationConfig::quick_test();
+        let mut s = SequentialSolver::new(cfg);
+        s.run(3);
+        save(&s.state, &path).unwrap();
+        s.run(3);
+        save(&s.state, &path).unwrap();
+
+        // Tear the primary: truncate it mid-payload.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+
+        assert!(load(&path).is_err(), "torn primary must not load");
+        let (state, source) = resume(&path).unwrap();
+        assert_eq!(source, ResumeSource::Fallback);
+        assert_eq!(state.step, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_prefers_primary_and_reports_both_failures() {
+        let dir = scratch_dir("both_bad");
+        let path = dir.join("run.ckpt");
+
+        let cfg = SimulationConfig::quick_test();
+        let mut s = SequentialSolver::new(cfg);
+        s.run(2);
+        save(&s.state, &path).unwrap();
+        let (state, source) = resume(&path).unwrap();
+        assert_eq!(source, ResumeSource::Primary);
+        assert_eq!(state.step, 2);
+
+        // With the primary gone and no .prev, resume surfaces the
+        // primary's error (NotFound) rather than panicking.
+        std::fs::remove_file(&path).unwrap();
+        match resume(&path) {
+            Err(CheckpointError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected io error, got {:?}", other.map(|(_, s)| s)),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

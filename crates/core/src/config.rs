@@ -105,6 +105,12 @@ pub struct SimulationConfig {
     pub plan: KernelPlan,
     /// In-solver run-health watchdog; `None` (the default) disables it.
     pub watchdog: Option<WatchdogConfig>,
+    /// Upper bound on any single blocking receive in the distributed
+    /// prototype (halo exchange and velocity reduction). `None` (the
+    /// default) blocks forever; with a timeout, a silent peer surfaces as
+    /// [`crate::solver::SolverError::HaloTimeout`] instead of a hang.
+    /// Runtime-only: not part of the checkpointed physics state.
+    pub halo_timeout: Option<std::time::Duration>,
 }
 
 /// Configuration of the in-solver run-health watchdog. When enabled on a
@@ -350,6 +356,7 @@ impl SimulationConfig {
             cube_k: 4,
             plan: KernelPlan::Split,
             watchdog: None,
+            halo_timeout: None,
         }
     }
 
@@ -374,6 +381,7 @@ impl SimulationConfig {
             cube_k: 4,
             plan: KernelPlan::Split,
             watchdog: None,
+            halo_timeout: None,
         }
     }
 
@@ -414,6 +422,7 @@ impl SimulationConfig {
             cube_k: 4,
             plan: KernelPlan::Split,
             watchdog: None,
+            halo_timeout: None,
         }
     }
 
@@ -507,6 +516,13 @@ impl ConfigBuilder {
     /// Enables (or disables, with `None`) the in-solver health watchdog.
     pub fn watchdog(mut self, watchdog: Option<WatchdogConfig>) -> Self {
         self.config.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the distributed halo-exchange receive timeout (`None` waits
+    /// forever, the historical behaviour).
+    pub fn halo_timeout(mut self, halo_timeout: Option<std::time::Duration>) -> Self {
+        self.config.halo_timeout = halo_timeout;
         self
     }
 

@@ -29,14 +29,26 @@ use lbm::collision::bgk_collide_node;
 use lbm::grid::{wrap_axis, FluidGrid};
 use lbm::lattice::{OPPOSITE, Q};
 use lbm::macroscopic::node_moments_shifted;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender as Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender as Sender};
+use std::time::Duration;
 
 use crate::config::{KernelPlan, SimulationConfig};
 use crate::openmp::balanced_ranges;
 use crate::profiling::KernelId;
-use crate::solver::RunReport;
+use crate::solver::{RunReport, SolverError};
 use crate::state::SimState;
 use crate::telemetry::{MetricsRegistry, ThreadSlot};
+
+/// A communication failure observed by one rank mid-step. Converted to a
+/// [`SolverError`] (with the observing rank attached) by
+/// [`DistributedSolver::try_run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RankFault {
+    /// No message from `peer` within the configured `halo_timeout`.
+    Timeout { peer: usize },
+    /// The channel to/from `peer` is disconnected (peer thread gone).
+    PeerGone { peer: usize },
+}
 
 /// Everything one rank owns. `f` carries two ghost planes (local plane 0 =
 /// global `x0 − 1`, local plane `w + 1` = global `x1`); all other fields
@@ -240,10 +252,25 @@ impl DistributedSolver {
     }
 
     /// Runs `n_steps`, spawning one thread per rank connected by channels.
-    /// Reports steps and wall time.
+    /// Reports steps and wall time. Panics on a communication fault; use
+    /// [`DistributedSolver::try_run`] to get the typed error instead.
     pub fn run(&mut self, n_steps: u64) -> RunReport {
+        self.try_run(n_steps)
+            .expect("distributed rank failed (try_run surfaces this as a value)")
+    }
+
+    /// Runs `n_steps`, surfacing communication faults as typed errors:
+    /// with [`SimulationConfig::halo_timeout`] set, a rank that waits
+    /// longer than the timeout on a halo plane or on the velocity
+    /// reduction returns [`SolverError::HaloTimeout`]; a disconnected peer
+    /// returns [`SolverError::RankDisconnected`]. On a fault every rank
+    /// unwinds at its next receive (its peers stop sending, so the
+    /// timeout cascades), the slab and sheet buffers are restored
+    /// (contents unspecified mid-step), and the step counter is left
+    /// where the last *completed* call put it.
+    pub fn try_run(&mut self, n_steps: u64) -> Result<RunReport, SolverError> {
         if n_steps == 0 {
-            return RunReport::default();
+            return Ok(RunReport::default());
         }
         let t0 = std::time::Instant::now();
         let n = self.n_ranks;
@@ -267,56 +294,104 @@ impl DistributedSolver {
             tx: tx_mesh,
             rx: rx_mesh,
         } = fabric;
-        let results: Vec<(RankData, FiberSheet)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for ((id, rank), rx) in ranks.into_iter().enumerate().zip(rx_mesh) {
-                let tx: Vec<Sender<Msg>> = tx_mesh[id].clone();
-                let sheet = sheet_template.clone();
-                let tethers = tethers.clone();
-                let slot = registry.as_ref().map(|r| r.slot(id));
-                handles.push(scope.spawn(move || {
-                    rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, &rx, slot)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
-        });
+        let results: Vec<(RankData, FiberSheet, Result<(), RankFault>)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for ((id, rank), rx) in ranks.into_iter().enumerate().zip(rx_mesh) {
+                    let tx: Vec<Sender<Msg>> = tx_mesh[id].clone();
+                    let sheet = sheet_template.clone();
+                    let tethers = tethers.clone();
+                    let slot = registry.as_ref().map(|r| r.slot(id));
+                    handles.push(scope.spawn(move || {
+                        rank_main(id, n, rank, sheet, tethers, config, n_steps, tx, &rx, slot)
+                    }));
+                }
+                // Drop the original sender mesh so a rank that returns
+                // early (fault) disconnects its outgoing channels and its
+                // peers observe `PeerGone` instead of waiting out their
+                // full timeout.
+                drop(tx_mesh);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank panicked"))
+                    .collect()
+            });
 
+        // Restore the state unconditionally — also on the failure path, so
+        // the solver keeps structurally valid (if physically mid-step)
+        // buffers.
+        let mut fault: Option<(usize, RankFault)> = None;
         let mut new_ranks = Vec::with_capacity(n);
         let mut sheet_out = None;
-        for (rank, sheet) in results {
+        for (id, (rank, sheet, res)) in results.into_iter().enumerate() {
             new_ranks.push(rank);
             // All ranks hold identical replicated sheets; keep rank 0's.
             if sheet_out.is_none() {
                 sheet_out = Some(sheet);
             }
+            if let Err(f) = res {
+                // Prefer a timeout over the disconnects it cascades into:
+                // the timeout names the rank that first saw the silence.
+                let replace = matches!(
+                    (&fault, &f),
+                    (None, _)
+                        | (
+                            Some((_, RankFault::PeerGone { .. })),
+                            RankFault::Timeout { .. }
+                        )
+                );
+                if replace {
+                    fault = Some((id, f));
+                }
+            }
         }
         self.ranks = new_ranks;
         self.sheet = sheet_out.expect("at least one rank");
+
+        if let Some((rank, f)) = fault {
+            return Err(match f {
+                RankFault::Timeout { peer } => SolverError::HaloTimeout { rank, peer },
+                RankFault::PeerGone { peer } => SolverError::RankDisconnected { rank, peer },
+            });
+        }
         self.step += n_steps;
         let wall = t0.elapsed();
-        RunReport {
+        Ok(RunReport {
             steps: n_steps,
             wall,
             telemetry: registry.map(|r| r.snapshot("dist", n_steps, wall.as_secs_f64())),
-        }
+        })
     }
 }
 
 /// Receives one message, charging the blocked time to the rank's
 /// communication-wait accumulators (the distributed analogue of barrier
 /// wait: the rank is stalled on a neighbour or on the reduction root).
-fn recv_counted(rx: &Receiver<Msg>, wait_s: &mut f64, waits: &mut u64) -> Msg {
+/// With a `timeout`, a silent or disconnected peer becomes a typed
+/// [`RankFault`] instead of an indefinite block.
+fn recv_counted(
+    rx: &Receiver<Msg>,
+    peer: usize,
+    timeout: Option<Duration>,
+    wait_s: &mut f64,
+    waits: &mut u64,
+) -> Result<Msg, RankFault> {
     let t0 = std::time::Instant::now();
-    let msg = rx.recv().expect("recv");
+    let msg = match timeout {
+        None => rx.recv().map_err(|_| RankFault::PeerGone { peer })?,
+        Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RankFault::Timeout { peer },
+            RecvTimeoutError::Disconnected => RankFault::PeerGone { peer },
+        })?,
+    };
     *wait_s += t0.elapsed().as_secs_f64();
     *waits += 1;
-    msg
+    Ok(msg)
 }
 
-/// One rank's execution.
+/// One rank's execution: runs the step loop and hands the slab and sheet
+/// back even when the loop bailed on a communication fault, so the solver
+/// can restore its buffers.
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
     id: usize,
@@ -329,7 +404,28 @@ fn rank_main(
     tx: Vec<Sender<Msg>>,
     rx: &[Receiver<Msg>],
     slot: Option<&ThreadSlot>,
-) -> (RankData, FiberSheet) {
+) -> (RankData, FiberSheet, Result<(), RankFault>) {
+    let res = rank_steps(
+        id, n_ranks, &mut rank, &mut sheet, &tethers, config, n_steps, &tx, rx, slot,
+    );
+    (rank, sheet, res)
+}
+
+/// The rank step loop; `Err` means a receive timed out or a peer vanished
+/// and this rank stopped mid-step.
+#[allow(clippy::too_many_arguments)]
+fn rank_steps(
+    id: usize,
+    n_ranks: usize,
+    rank: &mut RankData,
+    sheet: &mut FiberSheet,
+    tethers: &TetherSet,
+    config: SimulationConfig,
+    n_steps: u64,
+    tx: &[Sender<Msg>],
+    rx: &[Receiver<Msg>],
+    slot: Option<&ThreadSlot>,
+) -> Result<(), RankFault> {
     let dims = config.dims();
     let plane = dims.ny * dims.nz;
     let topo = sheet.topology();
@@ -337,19 +433,21 @@ fn rank_main(
     let tau = config.tau;
     let bc = config.bc;
     let delta = config.delta;
+    let timeout = config.halo_timeout;
     let area = sheet.area_element();
     let router = StreamRouter::new(dims, &bc);
     let left = (id + n_ranks - 1) % n_ranks;
     let right = (id + 1) % n_ranks;
+    let x0 = rank.x0;
     let w = rank.w;
-    let x1 = rank.x0 + w; // exclusive
+    let x1 = x0 + w; // exclusive
 
     // Local plane index of a global x that this rank can see (owned or
     // ghost), or None.
     let local_plane = |gx: usize| -> Option<usize> {
-        if gx >= rank.x0 && gx < x1 {
-            Some(gx - rank.x0 + 1)
-        } else if gx == wrap_axis(rank.x0, -1, dims.nx) {
+        if gx >= x0 && gx < x1 {
+            Some(gx - x0 + 1)
+        } else if gx == wrap_axis(x0, -1, dims.nx) {
             Some(0)
         } else if gx == wrap_axis(x1 - 1, 1, dims.nx) {
             Some(w + 1)
@@ -388,7 +486,7 @@ fn rank_main(
                 sheet.elastic[i][a] = sheet.bending[i][a] + sheet.stretching[i][a];
             }
         }
-        tethers.apply(&mut sheet);
+        tethers.apply(sheet);
         busy[KernelId::ElasticForce.index()] += mark.elapsed().as_secs_f64();
 
         // Kernel 4: reset to body force, spread only into owned planes.
@@ -493,17 +591,34 @@ fn rank_main(
             rank.f[(w + 1) * plane * Q..(w + 2) * plane * Q].copy_from_slice(&first_plane);
             rank.f[0..plane * Q].copy_from_slice(&last_plane);
         } else {
-            tx[left].send(Msg::Halo(first_plane)).expect("send left");
-            tx[right].send(Msg::Halo(last_plane)).expect("send right");
+            // Chaos-test failpoints (empty unless the `faultinject`
+            // feature is on): a delayed or silently dropped halo send.
+            if let Some(d) = crate::faultinject::halo_send_delay(id) {
+                std::thread::sleep(d);
+            }
+            if !crate::faultinject::drop_halo_send(id) {
+                tx[left]
+                    .send(Msg::Halo(first_plane))
+                    .map_err(|_| RankFault::PeerGone { peer: left })?;
+                tx[right]
+                    .send(Msg::Halo(last_plane))
+                    .map_err(|_| RankFault::PeerGone { peer: right })?;
+            }
             // Receive: from right neighbour their first plane (my right
             // ghost), from left neighbour their last plane (my left ghost).
-            match recv_counted(&rx[right], &mut comm_wait_s, &mut comm_waits) {
+            match recv_counted(
+                &rx[right],
+                right,
+                timeout,
+                &mut comm_wait_s,
+                &mut comm_waits,
+            )? {
                 Msg::Halo(p) => {
                     rank.f[(w + 1) * plane * Q..(w + 2) * plane * Q].copy_from_slice(&p)
                 }
                 _ => panic!("protocol error: expected halo"),
             }
-            match recv_counted(&rx[left], &mut comm_wait_s, &mut comm_waits) {
+            match recv_counted(&rx[left], left, timeout, &mut comm_wait_s, &mut comm_waits)? {
                 Msg::Halo(p) => rank.f[0..plane * Q].copy_from_slice(&p),
                 _ => panic!("protocol error: expected halo"),
             }
@@ -617,7 +732,7 @@ fn rank_main(
             // Sum in rank order for determinism.
             let mut others: Vec<(usize, Vec<[f64; 3]>)> = Vec::with_capacity(n_ranks - 1);
             for r in 1..n_ranks {
-                match recv_counted(&rx[r], &mut comm_wait_s, &mut comm_waits) {
+                match recv_counted(&rx[r], r, timeout, &mut comm_wait_s, &mut comm_waits)? {
                     Msg::Partial(p) => others.push((r, p)),
                     _ => panic!("protocol error: expected partial"),
                 }
@@ -631,12 +746,16 @@ fn rank_main(
                 }
             }
             for r in 1..n_ranks {
-                tx[r].send(Msg::Reduced(acc.clone())).expect("broadcast");
+                tx[r]
+                    .send(Msg::Reduced(acc.clone()))
+                    .map_err(|_| RankFault::PeerGone { peer: r })?;
             }
             acc
         } else {
-            tx[0].send(Msg::Partial(partial)).expect("send partial");
-            match recv_counted(&rx[0], &mut comm_wait_s, &mut comm_waits) {
+            tx[0]
+                .send(Msg::Partial(partial))
+                .map_err(|_| RankFault::PeerGone { peer: 0 })?;
+            match recv_counted(&rx[0], 0, timeout, &mut comm_wait_s, &mut comm_waits)? {
                 Msg::Reduced(v) => v,
                 _ => panic!("protocol error: expected reduced"),
             }
@@ -664,7 +783,7 @@ fn rank_main(
         slot.store_barrier_wait(comm_wait_s, comm_waits);
     }
 
-    (rank, sheet)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -726,6 +845,17 @@ mod tests {
         cfg.bc.x = lbm::boundary::AxisBoundary::no_slip();
         cfg.sheet.center[0] = 12.0;
         DistributedSolver::new(cfg, 2);
+    }
+
+    #[test]
+    fn halo_timeout_does_not_trip_on_healthy_runs() {
+        let mut cfg = SimulationConfig::quick_test();
+        cfg.halo_timeout = Some(Duration::from_secs(30));
+        let mut dist = DistributedSolver::new(cfg, 3);
+        let report = dist.try_run(4).expect("healthy run");
+        assert_eq!(report.steps, 4);
+        assert_eq!(dist.step, 4);
+        assert!(!dist.to_state().has_nan());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod config;
 pub mod cube;
 pub mod diagnostics;
 pub mod distributed;
+pub mod faultinject;
 pub mod kernels;
 pub mod openmp;
 pub mod output;
@@ -57,13 +58,17 @@ pub mod threadpool;
 pub mod tuning;
 pub mod verify;
 
+pub use checkpoint::{CheckpointError, ResumeSource};
 pub use config::{
     ConfigError, KernelPlan, SheetConfig, SimulationConfig, TetherConfig, WatchdogConfig,
 };
 pub use cube::CubeSolver;
 pub use distributed::DistributedSolver;
 pub use openmp::OpenMpSolver;
+pub use output::OutputError;
 pub use sequential::SequentialSolver;
-pub use solver::{build_solver, RunReport, Solver, SolverError};
+pub use solver::{
+    build_solver, run_with_checkpoints, CheckpointPolicy, RunReport, Solver, SolverError,
+};
 pub use state::SimState;
 pub use telemetry::{MetricsRegistry, RunTelemetry, ThreadTelemetry, Watchdog};

@@ -5,8 +5,11 @@
 //! x-slabs (static schedule, one slab per thread), each slab handled by one
 //! task; the implicit join at the end of each parallel region is OpenMP's
 //! implicit barrier. Fiber kernels mirror Algorithm 3 (parallel over
-//! fibers). Force spreading scatters with atomic f64 adds, since fiber
-//! nodes on different threads can influence the same fluid node.
+//! fibers). Force spreading is a two-phase produce/apply: fiber chunks
+//! stage (node, force) contributions into per-(chunk, slab) buckets, then
+//! slab owners apply them in chunk order — deterministic (bit-exact
+//! reruns, and independent of thread count and schedule), unlike an
+//! atomic-add scatter whose per-node addition order depends on timing.
 //!
 //! Every region records per-thread busy time, feeding the
 //! [`ImbalanceTracker`] that reproduces Table II's load-imbalance column.
@@ -80,21 +83,33 @@ impl VelocityField for GridView<'_> {
     }
 }
 
-/// Atomic force sink for the parallel scatter of kernel 4.
-struct AtomicSink<'a> {
+/// One staged spread contribution: flat node index plus the force delta.
+type SpreadEntry = (u32, [f64; 3]);
+
+/// Force sink that stages contributions into per-destination-slab buckets
+/// instead of touching the grid, for the deterministic two-phase spread of
+/// kernel 4. The slab of a node index under [`balanced_ranges`]`(n, k)` is
+/// computed in closed form.
+struct BucketSink<'a> {
     dims: Dims,
-    fx: &'a [AtomicF64],
-    fy: &'a [AtomicF64],
-    fz: &'a [AtomicF64],
+    /// `n / k` and `n % k` of the slab decomposition.
+    base: usize,
+    rem: usize,
+    buckets: &'a mut [Vec<SpreadEntry>],
 }
 
-impl ForceSink for AtomicSink<'_> {
+impl ForceSink for BucketSink<'_> {
     #[inline]
     fn add_force(&mut self, x: usize, y: usize, z: usize, df: [f64; 3]) {
-        let n = self.dims.idx(x, y, z);
-        self.fx[n].fetch_add(df[0]);
-        self.fy[n].fetch_add(df[1]);
-        self.fz[n].fetch_add(df[2]);
+        let idx = self.dims.idx(x, y, z);
+        // First `rem` slabs hold `base + 1` nodes, the rest `base` (when
+        // `base == 0`, every index falls in the first branch).
+        let slab = if idx < (self.base + 1) * self.rem {
+            idx / (self.base + 1)
+        } else {
+            self.rem + (idx - (self.base + 1) * self.rem) / self.base
+        };
+        self.buckets[slab].push((idx as u32, df));
     }
 }
 
@@ -347,8 +362,12 @@ impl OpenMpSolver {
         imbalance.record_region(kernel, &busy_vals);
     }
 
-    /// Kernel 4: clear to body force in parallel slabs, then scatter the
-    /// fiber forces through atomic adds.
+    /// Kernel 4: clear to body force in parallel slabs, then spread the
+    /// fiber forces in two deterministic phases — fiber chunks *produce*
+    /// per-(chunk, slab) contribution buckets, slab owners *apply* them in
+    /// chunk order. Chunks are ascending contiguous fiber ranges, so the
+    /// per-node addition order is global fiber order: bit-identical to the
+    /// sequential spread, for every thread count and schedule.
     fn spread_kernel(&mut self) {
         let n_threads = self.n_threads;
         let n_chunks = self.n_chunks();
@@ -378,31 +397,72 @@ impl OpenMpSolver {
             });
         }
 
-        // Phase B: atomic scatter, parallel over fibers.
         let busy: Vec<AtomicF64> = (0..n_threads).map(|_| AtomicF64::new(0.0)).collect();
+        // Phase B1 (produce): parallel over fiber chunks; each chunk owns
+        // one row of buckets, keyed by destination slab.
+        let mut buckets: Vec<Vec<Vec<SpreadEntry>>> =
+            (0..n_chunks).map(|_| vec![Vec::new(); n_chunks]).collect();
         {
             let sheet = &self.state.sheet;
             let area = sheet.area_element();
             let nn = sheet.nodes_per_fiber;
             let fiber_ranges = balanced_ranges(sheet.num_fibers, n_chunks);
-            let fluid = &mut self.state.fluid;
-            let fx = as_atomic_f64(&mut fluid.fx);
-            let fy = as_atomic_f64(&mut fluid.fy);
-            let fz = as_atomic_f64(&mut fluid.fz);
             let pos = &sheet.pos;
             let elastic = &sheet.elastic;
+            let base = n / n_chunks;
+            let rem = n % n_chunks;
             self.pool.scope(|scope| {
-                for fibers in fiber_ranges {
+                for (row, fibers) in buckets.iter_mut().zip(fiber_ranges) {
                     let busy = &busy;
-                    let mut sink = AtomicSink { dims, fx, fy, fz };
                     scope.spawn(move || {
                         let b0 = Instant::now();
+                        let mut sink = BucketSink {
+                            dims,
+                            base,
+                            rem,
+                            buckets: row,
+                        };
                         for fiber in fibers {
                             for node in 0..nn {
                                 let i = fiber * nn + node;
                                 let f = elastic[i];
                                 let f_l = [f[0] * area, f[1] * area, f[2] * area];
                                 spread_node(pos[i], f_l, delta, dims, &bc, &mut sink);
+                            }
+                        }
+                        let w = current_thread_index().unwrap_or(0);
+                        busy[w].fetch_add(b0.elapsed().as_secs_f64());
+                    });
+                }
+            });
+        }
+
+        // Phase B2 (apply): parallel over node slabs; each slab owner
+        // drains every chunk's bucket aimed at it, in chunk order.
+        {
+            let fluid = &mut self.state.fluid;
+            let fx = split_by_ranges(&mut fluid.fx, &node_ranges);
+            let fy = split_by_ranges(&mut fluid.fy, &node_ranges);
+            let fz = split_by_ranges(&mut fluid.fz, &node_ranges);
+            let items: Vec<_> = fx
+                .into_iter()
+                .zip(fy)
+                .zip(fz)
+                .zip(node_ranges.iter().map(|r| r.start))
+                .enumerate()
+                .collect();
+            let buckets = &buckets;
+            self.pool.scope(|scope| {
+                for (slab, (((cx, cy), cz), start)) in items {
+                    let busy = &busy;
+                    scope.spawn(move || {
+                        let b0 = Instant::now();
+                        for row in buckets {
+                            for &(idx, df) in &row[slab] {
+                                let i = idx as usize - start;
+                                cx[i] += df[0];
+                                cy[i] += df[1];
+                                cz[i] += df[2];
                             }
                         }
                         let w = current_thread_index().unwrap_or(0);
@@ -781,19 +841,23 @@ mod tests {
         let mut b = OpenMpSolver::new(cfg, 4);
         a.run(6);
         b.run(6);
-        let max_err = a
-            .state
-            .fluid
-            .ux
-            .iter()
-            .zip(&b.state.fluid.ux)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f64, f64::max);
-        // Atomic scatter reorders additions, so allow rounding-level noise.
-        assert!(
-            max_err < 1e-12,
-            "ux mismatch across thread counts: {max_err}"
-        );
+        // The bucketed spread applies contributions in global fiber order
+        // regardless of the chunk decomposition, so the agreement across
+        // thread counts is exact, not approximate.
+        assert_eq!(a.state.fluid.f, b.state.fluid.f);
+        assert_eq!(a.state.fluid.ux, b.state.fluid.ux);
+        assert_eq!(a.state.sheet.pos, b.state.sheet.pos);
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let cfg = SimulationConfig::quick_test();
+        let mut a = OpenMpSolver::new(cfg, 4);
+        let mut b = OpenMpSolver::new(cfg, 4);
+        a.run(6);
+        b.run(6);
+        assert_eq!(a.state.fluid.f, b.state.fluid.f);
+        assert_eq!(a.state.sheet.pos, b.state.sheet.pos);
     }
 
     #[test]
@@ -841,18 +905,10 @@ mod tests {
         dynamic.schedule = Schedule::Dynamic { factor: 4 };
         stat.run(8);
         dynamic.run(8);
-        let max_err = stat
-            .state
-            .fluid
-            .f
-            .iter()
-            .zip(&dynamic.state.fluid.f)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        assert!(
-            max_err < 1e-12,
-            "dynamic schedule changed physics: {max_err}"
-        );
+        // Buckets are keyed by chunk index, not worker, so even the
+        // work-stolen dynamic schedule is bit-exact against static.
+        assert_eq!(stat.state.fluid.f, dynamic.state.fluid.f);
+        assert_eq!(stat.state.sheet.pos, dynamic.state.sheet.pos);
     }
 
     #[test]

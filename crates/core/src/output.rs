@@ -7,6 +7,48 @@ use std::path::Path;
 
 use crate::state::SimState;
 
+/// Failures of the output writers. I/O problems and caller mistakes (like
+/// asking for a slice outside the grid) are values, not panics, so a failed
+/// snapshot cannot take down a long simulation run.
+#[derive(Debug)]
+pub enum OutputError {
+    /// The underlying writer failed.
+    Io(io::Error),
+    /// The requested x-normal slice lies outside the fluid grid.
+    SliceOutOfRange {
+        /// Requested slice index.
+        x: usize,
+        /// Grid extent along x; valid slices are `0..nx`.
+        nx: usize,
+    },
+}
+
+impl std::fmt::Display for OutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "output write failed: {e}"),
+            Self::SliceOutOfRange { x, nx } => {
+                write!(f, "slice x={x} out of range (grid has nx={nx})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OutputError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::SliceOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for OutputError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
 /// Writes the sheet node positions as CSV (`fiber,node,x,y,z`).
 pub fn write_sheet_csv<W: Write>(state: &SimState, mut w: W) -> io::Result<()> {
     writeln!(w, "fiber,node,x,y,z")?;
@@ -70,10 +112,17 @@ pub fn write_sheet_vtk<W: Write>(state: &SimState, mut w: W) -> io::Result<()> {
 }
 
 /// Writes one x-normal slice of the fluid velocity as CSV
-/// (`y,z,ux,uy,uz,rho`).
-pub fn write_fluid_slice_csv<W: Write>(state: &SimState, x: usize, mut w: W) -> io::Result<()> {
+/// (`y,z,ux,uy,uz,rho`). An out-of-range `x` is reported as
+/// [`OutputError::SliceOutOfRange`] rather than a panic.
+pub fn write_fluid_slice_csv<W: Write>(
+    state: &SimState,
+    x: usize,
+    mut w: W,
+) -> Result<(), OutputError> {
     let dims = state.fluid.dims;
-    assert!(x < dims.nx, "slice {x} out of range");
+    if x >= dims.nx {
+        return Err(OutputError::SliceOutOfRange { x, nx: dims.nx });
+    }
     writeln!(w, "y,z,ux,uy,uz,rho")?;
     for y in 0..dims.ny {
         for z in 0..dims.nz {
@@ -161,11 +210,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn slice_out_of_range_panics() {
+    fn slice_out_of_range_is_a_typed_error() {
         let s = state();
         let mut buf = Vec::new();
-        let _ = write_fluid_slice_csv(&s, 999, &mut buf);
+        let err = write_fluid_slice_csv(&s, 999, &mut buf).unwrap_err();
+        match &err {
+            OutputError::SliceOutOfRange { x: 999, nx } => assert_eq!(*nx, s.fluid.dims.nx),
+            other => panic!("expected SliceOutOfRange, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "nothing is written on a rejected slice");
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -70,6 +70,11 @@ impl SequentialSolver {
         p.time(KernelId::CopyDistributions, || {
             kernels::copy_fluid_velocity_distribution(s)
         });
+        // Chaos-test failpoint (empty unless the `faultinject` feature is
+        // on): poison the state so the watchdog path is exercised.
+        if crate::faultinject::nan_injection_step() == Some(s.step) {
+            s.fluid.ux[0] = f64::NAN;
+        }
         s.step += 1;
     }
 

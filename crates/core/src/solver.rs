@@ -70,6 +70,24 @@ pub enum SolverError {
     /// The in-run watchdog found the simulation blowing up (NaN fields,
     /// runaway velocity or mass drift) at `step`.
     Unstable { step: u64, reason: String },
+    /// A cube-solver worker thread panicked. The barrier was poisoned so
+    /// every sibling unwound instead of hanging; the step counter was not
+    /// advanced.
+    WorkerPanicked {
+        /// Worker thread index.
+        thread: usize,
+        /// The phase the worker died in (one of
+        /// [`crate::cube::WORKER_PHASES`]).
+        phase: &'static str,
+    },
+    /// A distributed rank waited longer than the configured
+    /// [`crate::config::SimulationConfig::halo_timeout`] for a message.
+    HaloTimeout { rank: usize, peer: usize },
+    /// A distributed rank's channel to a peer disconnected (peer gone).
+    RankDisconnected { rank: usize, peer: usize },
+    /// A periodic checkpoint save failed (the run stops rather than keep
+    /// computing steps that could never be recovered).
+    Checkpoint { detail: String },
 }
 
 impl std::fmt::Display for SolverError {
@@ -89,6 +107,21 @@ impl std::fmt::Display for SolverError {
             }
             SolverError::Unstable { step, reason } => {
                 write!(f, "simulation unstable at step {step}: {reason}")
+            }
+            SolverError::WorkerPanicked { thread, phase } => {
+                write!(f, "worker thread {thread} panicked in phase {phase}")
+            }
+            SolverError::HaloTimeout { rank, peer } => {
+                write!(
+                    f,
+                    "rank {rank} timed out waiting for a message from rank {peer}"
+                )
+            }
+            SolverError::RankDisconnected { rank, peer } => {
+                write!(f, "rank {rank} lost its channel to rank {peer}")
+            }
+            SolverError::Checkpoint { detail } => {
+                write!(f, "checkpoint save failed: {detail}")
             }
         }
     }
@@ -146,18 +179,18 @@ fn run_watched<S>(
     solver: &mut S,
     n: u64,
     watchdog: Option<WatchdogConfig>,
-    mut chunk: impl FnMut(&mut S, u64) -> RunReport,
+    mut chunk: impl FnMut(&mut S, u64) -> Result<RunReport, SolverError>,
     check: impl Fn(&S, &mut Watchdog) -> Result<(), SolverError>,
 ) -> Result<RunReport, SolverError> {
     let Some(cfg) = watchdog.filter(|c| c.check_every > 0) else {
-        return Ok(chunk(solver, n));
+        return chunk(solver, n);
     };
     let mut dog = Watchdog::new();
     check(solver, &mut dog)?;
     let mut report = RunReport::default();
     while report.steps < n {
         let len = cfg.check_every.min(n - report.steps);
-        report.merge(chunk(solver, len));
+        report.merge(chunk(solver, len)?);
         check(solver, &mut dog)?;
     }
     Ok(report)
@@ -172,9 +205,13 @@ impl Solver for SequentialSolver {
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
         let watchdog = self.state.config.watchdog;
-        run_watched(self, n, watchdog, SequentialSolver::run, |s, dog| {
-            dog.observe(&s.state)
-        })
+        run_watched(
+            self,
+            n,
+            watchdog,
+            |s, len| Ok(SequentialSolver::run(s, len)),
+            |s, dog| dog.observe(&s.state),
+        )
     }
     fn to_state(&self) -> SimState {
         self.state.clone()
@@ -196,9 +233,13 @@ impl Solver for OpenMpSolver {
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
         let watchdog = self.state.config.watchdog;
-        run_watched(self, n, watchdog, OpenMpSolver::run, |s, dog| {
-            dog.observe(&s.state)
-        })
+        run_watched(
+            self,
+            n,
+            watchdog,
+            |s, len| Ok(OpenMpSolver::run(s, len)),
+            |s, dog| dog.observe(&s.state),
+        )
     }
     fn to_state(&self) -> SimState {
         self.state.clone()
@@ -220,7 +261,7 @@ impl Solver for CubeSolver {
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
         let watchdog = self.config.watchdog;
-        run_watched(self, n, watchdog, CubeSolver::run, |s, dog| {
+        run_watched(self, n, watchdog, CubeSolver::try_run, |s, dog| {
             // Gathering the blocked layout costs one flat copy, paid only
             // every `check_every` steps.
             dog.observe(&s.to_state())
@@ -246,7 +287,7 @@ impl Solver for DistributedSolver {
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
         let watchdog = self.config.watchdog;
-        run_watched(self, n, watchdog, DistributedSolver::run, |s, dog| {
+        run_watched(self, n, watchdog, DistributedSolver::try_run, |s, dog| {
             dog.observe(&s.to_state())
         })
     }
@@ -330,6 +371,43 @@ impl DistributedSolver {
         }
         Ok(Self::from_state(state, n_ranks))
     }
+}
+
+/// Periodic auto-checkpointing policy for [`run_with_checkpoints`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Save cadence in time steps (0 = a single save at the end of the
+    /// run).
+    pub every: u64,
+    /// Destination file. Saves are crash-consistent: written to a temp
+    /// file, fsynced and atomically renamed over `path`, with the previous
+    /// good checkpoint rotated to `<path>.prev`
+    /// (see [`crate::checkpoint::save`]).
+    pub path: std::path::PathBuf,
+}
+
+/// Runs `n` steps in `policy.every`-step chunks, saving a crash-consistent
+/// checkpoint after each chunk. Chunked re-entry is bit-exact for every
+/// solver, so a run resumed from any of these checkpoints reproduces the
+/// uninterrupted run bit for bit. A failed save stops the run with
+/// [`SolverError::Checkpoint`] instead of silently computing on.
+pub fn run_with_checkpoints<S: Solver + ?Sized>(
+    solver: &mut S,
+    n: u64,
+    policy: &CheckpointPolicy,
+) -> Result<RunReport, SolverError> {
+    let every = if policy.every == 0 { n } else { policy.every };
+    let mut report = RunReport::default();
+    while report.steps < n {
+        let len = every.min(n - report.steps);
+        report.merge(solver.run(len)?);
+        crate::checkpoint::save(&solver.to_state(), &policy.path).map_err(|e| {
+            SolverError::Checkpoint {
+                detail: e.to_string(),
+            }
+        })?;
+    }
+    Ok(report)
 }
 
 /// Times `n` steps of any closure-driven stepper — shared by the inherent
@@ -495,6 +573,35 @@ mod tests {
             compare_states(&plain.to_state(), &watched.to_state()).worst(),
             0.0
         );
+    }
+
+    #[test]
+    fn run_with_checkpoints_saves_and_matches_plain_run() {
+        let dir = std::env::temp_dir().join(format!("lbmib_rwc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let config = SimulationConfig::quick_test();
+
+        let mut plain = build_solver("seq", SimState::new(config), 1).unwrap();
+        plain.run(9).unwrap();
+
+        let mut ckpt = build_solver("seq", SimState::new(config), 1).unwrap();
+        let policy = CheckpointPolicy {
+            every: 4,
+            path: path.clone(),
+        };
+        let report = run_with_checkpoints(ckpt.as_mut(), 9, &policy).unwrap();
+        assert_eq!(report.steps, 9);
+
+        // The final checkpoint holds step 9 and bit-identical state; the
+        // rotation left the step-8 save in `.prev`.
+        let (resumed, source) = crate::checkpoint::resume(&path).unwrap();
+        assert_eq!(source, crate::checkpoint::ResumeSource::Primary);
+        assert_eq!(resumed.step, 9);
+        assert_eq!(resumed.fluid.f, plain.to_state().fluid.f);
+        let prev = crate::checkpoint::load(&crate::checkpoint::prev_path(&path)).unwrap();
+        assert_eq!(prev.step, 8);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -98,6 +98,16 @@ impl ThreadPool {
         self.n_threads
     }
 
+    /// Queues a job without the `scope` panic wrapper, so a panicking job
+    /// kills its worker thread. Exists only to test the teardown path.
+    #[cfg(test)]
+    fn inject_raw_job(&self, job: Job) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.0.push_back(job);
+        drop(q);
+        self.shared.work_available.notify_one();
+    }
+
     /// Runs `f`, which may spawn borrowing tasks on the pool via the given
     /// [`Scope`]; returns only after every spawned task has finished (the
     /// implicit barrier). The first task panic is propagated here.
@@ -140,10 +150,25 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.queue.lock().unwrap().1 = true;
+        // Ignore mutex poisoning here: teardown must proceed even if some
+        // thread panicked while holding the queue lock, or the workers
+        // would never see the shutdown flag and `join` would hang.
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .1 = true;
         self.shared.work_available.notify_all();
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            if let Err(p) = w.join() {
+                // A worker thread died (its panic escaped the per-task
+                // `catch_unwind`). Surface it — but never while already
+                // unwinding: a panic from `drop` during unwind is a double
+                // panic and aborts the whole process.
+                if !std::thread::panicking() {
+                    resume_unwind(p);
+                }
+            }
         }
     }
 }
@@ -252,6 +277,34 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 8, "other tasks still ran");
         // The pool survives a panicked scope.
         pool.scope(|s| s.spawn(|| ()));
+    }
+
+    #[test]
+    fn drop_surfaces_a_dead_worker() {
+        let outcome = catch_unwind(|| {
+            let pool = ThreadPool::new(1, "tp-dead");
+            pool.inject_raw_job(Box::new(|| panic!("worker dies")));
+            drop(pool);
+        });
+        let payload = outcome.expect_err("drop must propagate the worker's panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"worker dies"));
+    }
+
+    #[test]
+    fn drop_does_not_double_panic_while_unwinding() {
+        // If `Drop` re-panicked during unwind this would abort the whole
+        // test process; reaching the assertions below is the regression
+        // check.
+        let outcome = catch_unwind(|| {
+            let pool = ThreadPool::new(1, "tp-unwind");
+            pool.inject_raw_job(Box::new(|| panic!("worker dies")));
+            panic!("outer teardown panic");
+        });
+        let payload = outcome.expect_err("outer panic must win");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"outer teardown panic")
+        );
     }
 
     #[test]

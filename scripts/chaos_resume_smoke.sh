@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Kill -9 crash/resume smoke test for the crash-consistent checkpoint
+# protocol (CI's `chaos-smoke` job; also runnable locally).
+#
+# 1. Start a long `lbmib` run with periodic checkpointing and SIGKILL it
+#    the moment the first checkpoint appears — so the kill can land
+#    anywhere, including mid-save, which the temp-file + atomic-rename +
+#    `.prev` rotation protocol must survive.
+# 2. Resume from whatever survived on disk and advance to a fixed target
+#    step.
+# 3. Run the same simulation fresh and uninterrupted to the same target.
+# 4. The two final checkpoints must be byte-identical: resume is bit-exact,
+#    not merely approximately right.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SOLVER=${SOLVER:-cube}
+THREADS=${THREADS:-4}
+EVERY=${EVERY:-25}
+BIN=${LBMIB_BIN:-target/release/lbmib}
+
+[ -x "$BIN" ] || cargo build --release --bin lbmib
+
+DIR=$(mktemp -d)
+BG=
+trap '[ -n "$BG" ] && kill -9 "$BG" 2>/dev/null; rm -rf "$DIR"' EXIT
+
+"$BIN" --preset quick --solver "$SOLVER" --threads "$THREADS" \
+    --steps 100000000 --report-every "$EVERY" \
+    --checkpoint-every "$EVERY" --checkpoint-path "$DIR/crash.ckpt" \
+    >"$DIR/crash.log" 2>&1 &
+BG=$!
+
+for _ in $(seq 1 600); do
+    [ -f "$DIR/crash.ckpt" ] && break
+    kill -0 "$BG" 2>/dev/null || { echo "FAIL: run died early:"; cat "$DIR/crash.log"; exit 1; }
+    sleep 0.1
+done
+[ -f "$DIR/crash.ckpt" ] || { echo "FAIL: no checkpoint appeared within 60s"; exit 1; }
+
+kill -9 "$BG"
+wait "$BG" 2>/dev/null || true
+BG=
+
+# A --steps 0 invocation just loads (with .prev fallback if the kill tore
+# the primary) and reports where the surviving snapshot left us.
+S=$("$BIN" --resume "$DIR/crash.ckpt" --steps 0 | sed -n 's/^resumed at step \([0-9]*\)$/\1/p')
+[ -n "$S" ] || { echo "FAIL: could not parse the resumed step"; exit 1; }
+T=$((S + 40))
+echo "killed run survived at step $S; driving both runs to step $T"
+
+"$BIN" --resume "$DIR/crash.ckpt" --solver "$SOLVER" --threads "$THREADS" \
+    --steps 40 --report-every 40 --save "$DIR/final_resumed.ckpt" >/dev/null
+
+"$BIN" --preset quick --solver "$SOLVER" --threads "$THREADS" \
+    --steps "$T" --report-every "$T" --save "$DIR/final_fresh.ckpt" >/dev/null
+
+cmp "$DIR/final_resumed.ckpt" "$DIR/final_fresh.ckpt"
+echo "OK: final state after kill -9 + resume is byte-identical to the uninterrupted run"

@@ -11,6 +11,8 @@
 //!       [--gx G] [--sheet N] [--sheet-extent E] [--tether none|center|edge]
 //!       [--cube-k K] [--out DIR] [--report-every N] [--profile]
 //!       [--metrics FILE] [--watchdog-every N]
+//!       [--checkpoint-every N] [--checkpoint-path FILE]
+//!       [--halo-timeout-ms MS]
 //! ```
 //!
 //! Examples:
@@ -22,7 +24,17 @@
 //! lbmib --resume run.ckpt --steps 500        # continue bit-exactly
 //! lbmib --preset quick --metrics run.json    # per-thread kernel telemetry
 //! lbmib --preset quick --watchdog-every 16   # in-solver stability checks
+//! lbmib --steps 600 --checkpoint-every 50 --checkpoint-path run.ckpt
+//! lbmib --resume run.ckpt --steps 600 --checkpoint-every 50 \
+//!       --checkpoint-path run.ckpt           # survive kill -9 mid-run
+//! lbmib --solver dist --halo-timeout-ms 5000 # bound halo-exchange waits
 //! ```
+//!
+//! Periodic checkpoints are crash-consistent: each save goes to a temp
+//! file, is fsynced, then atomically renamed over `--checkpoint-path`,
+//! with the previous good save rotated to `<path>.prev`. `--resume` falls
+//! back to `.prev` automatically if the primary file is torn or corrupt,
+//! and a resumed run reproduces the uninterrupted run bit for bit.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -33,6 +45,12 @@ use lbm_ib::diagnostics::diagnostics;
 use lbm_ib::output::{append_trajectory_row, dump_sheet_snapshot, trajectory_header};
 use lbm_ib::{build_solver, SheetConfig, SimState, SimulationConfig, Solver, TetherConfig};
 use lbm_ib_bench::Args;
+
+/// Prints `error: <msg>` to stderr and exits with status 1.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
 
 fn build_config(args: &Args) -> SimulationConfig {
     let mut config = match args.get::<String>("preset").as_deref() {
@@ -101,20 +119,22 @@ fn main() {
         return;
     }
 
-    // Resume from a checkpoint, or build a fresh configuration.
+    // Resume from a checkpoint (falling back to the rotated `.prev` save
+    // if the primary is torn or corrupt), or build a fresh configuration.
     let resumed_state = args.get::<String>("resume").map(|p| {
-        lbm_ib::checkpoint::load(std::path::Path::new(&p)).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        })
+        let (state, source) = lbm_ib::checkpoint::resume(std::path::Path::new(&p))
+            .unwrap_or_else(|e| die(format!("cannot resume from {p}: {e}")));
+        if source == lbm_ib::ResumeSource::Fallback {
+            eprintln!("warning: {p} was unreadable; resumed from rotated fallback {p}.prev");
+        }
+        state
     });
     let mut config = match &resumed_state {
         Some(s) => s.config,
         None => build_config(&args),
     };
     if let Err(e) = config.validate() {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        die(e);
     }
 
     let steps: u64 = args.get_or("steps", 100);
@@ -128,10 +148,7 @@ fn main() {
 
     if args.flag("autotune") && solver_name == "cube" {
         let report =
-            lbm_ib::tuning::autotune_cube_k(config, threads, None, 3).unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            });
+            lbm_ib::tuning::autotune_cube_k(config, threads, None, 3).unwrap_or_else(|e| die(e));
         println!("auto-tuning cube edge:\n{}", report.table());
         config.cube_k = report.best_k().unwrap_or(config.cube_k);
         println!("selected cube_k = {}", config.cube_k);
@@ -157,42 +174,72 @@ fn main() {
     if let Some(every) = args.get::<u64>("watchdog-every") {
         initial_state.config.watchdog = Some(lbm_ib::WatchdogConfig { check_every: every });
     }
+    if let Some(ms) = args.get::<u64>("halo-timeout-ms") {
+        initial_state.config.halo_timeout = Some(std::time::Duration::from_millis(ms));
+    }
     if initial_state.step > 0 {
         println!("resumed at step {}", initial_state.step);
     }
-    let mut solver: Box<dyn Solver> = build_solver(&solver_name, initial_state, threads)
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    let mut solver: Box<dyn Solver> =
+        build_solver(&solver_name, initial_state, threads).unwrap_or_else(|e| die(e));
     if metrics_path.is_some() {
         solver.set_telemetry(true);
     }
 
     let out_dir: Option<PathBuf> = args.get::<String>("out").map(PathBuf::from);
     let mut traj = out_dir.as_ref().map(|dir| {
-        std::fs::create_dir_all(dir).expect("create output dir");
-        let mut w = BufWriter::new(File::create(dir.join("trajectory.csv")).unwrap());
-        trajectory_header(&mut w).unwrap();
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(format!("create output dir: {e}")));
+        let mut w = BufWriter::new(
+            File::create(dir.join("trajectory.csv"))
+                .unwrap_or_else(|e| die(format!("create trajectory.csv: {e}"))),
+        );
+        trajectory_header(&mut w).unwrap_or_else(|e| die(format!("write trajectory.csv: {e}")));
         w
     });
+
+    // Periodic crash-consistent checkpointing. `--checkpoint-every` alone
+    // saves to `lbmib.ckpt`; `--checkpoint-path` alone saves once, at the
+    // end of the run.
+    let ckpt_every: Option<u64> = args.get("checkpoint-every");
+    let ckpt_path: Option<String> = args.get("checkpoint-path");
+    let ckpt = match (ckpt_every, ckpt_path) {
+        (Some(e), p) => Some((
+            e.max(1),
+            PathBuf::from(p.unwrap_or_else(|| "lbmib.ckpt".to_string())),
+        )),
+        (None, Some(p)) => Some((steps.max(1), PathBuf::from(p))),
+        (None, None) => None,
+    };
 
     let report_every: u64 = args.get_or("report-every", (steps / 10).max(1));
     let mut report = lbm_ib::RunReport::default();
     let mut snapshot = 0usize;
+    let start_step = solver.to_state().step;
     let initial_mass = diagnostics(&solver.to_state()).mass;
     while report.steps < steps {
-        let n = report_every.min(steps - report.steps);
+        // Advance to whichever boundary comes first: the next progress
+        // report, the next checkpoint, or the end of the run.
+        let mut n = report_every.min(steps - report.steps);
+        if let Some((every, _)) = &ckpt {
+            let abs = start_step + report.steps;
+            let to_ckpt = every - abs % every;
+            n = n.min(to_ckpt);
+        }
         let chunk = solver.run(n).unwrap_or_else(|e| {
             if matches!(e, lbm_ib::SolverError::Unstable { .. }) {
                 eprintln!("UNSTABLE: {e}");
                 std::process::exit(2);
             }
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            die(e);
         });
         report.merge(chunk);
         let state = solver.to_state();
+        if let Some((every, path)) = &ckpt {
+            if state.step % every == 0 || report.steps == steps {
+                lbm_ib::checkpoint::save(&state, path)
+                    .unwrap_or_else(|e| die(format!("checkpoint save: {e}")));
+            }
+        }
         let d = diagnostics(&state);
         println!("{}", d.summary());
         if let Err(e) = d.check_stability(initial_mass) {
@@ -200,8 +247,13 @@ fn main() {
             std::process::exit(2);
         }
         if let Some(dir) = &out_dir {
-            append_trajectory_row(&state, traj.as_mut().unwrap()).unwrap();
-            dump_sheet_snapshot(&state, dir, snapshot).unwrap();
+            let w = traj
+                .as_mut()
+                .expect("trajectory writer exists when --out is set");
+            append_trajectory_row(&state, w)
+                .unwrap_or_else(|e| die(format!("write trajectory.csv: {e}")));
+            dump_sheet_snapshot(&state, dir, snapshot)
+                .unwrap_or_else(|e| die(format!("write sheet snapshot: {e}")));
             snapshot += 1;
         }
     }
@@ -216,7 +268,8 @@ fn main() {
     if let Some(path) = &metrics_path {
         match &report.telemetry {
             Some(t) => {
-                std::fs::write(path, t.to_json()).expect("write metrics file");
+                std::fs::write(path, t.to_json())
+                    .unwrap_or_else(|e| die(format!("write metrics file: {e}")));
                 println!("\n{}", t.summary());
                 println!("telemetry written to {}", path.display());
             }
@@ -227,7 +280,8 @@ fn main() {
         }
     }
     if let Some(path) = args.get::<String>("save") {
-        lbm_ib::checkpoint::save(&state, std::path::Path::new(&path)).expect("save checkpoint");
+        lbm_ib::checkpoint::save(&state, std::path::Path::new(&path))
+            .unwrap_or_else(|e| die(format!("save checkpoint: {e}")));
         println!("checkpoint written to {path}");
     }
     if args.flag("profile") {
