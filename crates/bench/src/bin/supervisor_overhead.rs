@@ -1,0 +1,124 @@
+//! Measures the cost of running fault-free under the self-healing
+//! supervisor: every solver runs the same workload bare and wrapped in
+//! [`lbm_ib::Supervisor`] (in-memory rollback anchor, no disk
+//! checkpoint), and the harness reports the wall-time overhead in
+//! `BENCH_supervisor.json`.
+//!
+//! The acceptance bar is <= 2% overhead on the fault-free quick_test: the
+//! only work supervision adds to a healthy run is one `to_state()`
+//! snapshot per committed chunk, so a single-chunk run pays one snapshot
+//! per `run()` call.
+//!
+//! Usage: `supervisor_overhead [--steps N] [--reps N] [--threads N] [--out PATH]`
+
+use lbm_ib::solver::build_solver;
+use lbm_ib::{RecoveryPolicy, SimState, SimulationConfig, Solver, Supervisor};
+use lbm_ib_bench::Args;
+
+/// Median wall seconds of `reps` fresh runs of `steps` steps.
+fn median_run_secs(
+    solver_name: &str,
+    config: SimulationConfig,
+    threads: usize,
+    steps: u64,
+    reps: usize,
+    supervised: bool,
+) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut solver: Box<dyn Solver> = if supervised {
+                Box::new(
+                    Supervisor::new(
+                        solver_name,
+                        SimState::new(config),
+                        threads,
+                        RecoveryPolicy::default(),
+                    )
+                    .expect("build supervisor"),
+                )
+            } else {
+                build_solver(solver_name, SimState::new(config), threads).expect("build solver")
+            };
+            solver.run(2).expect("warm-up"); // warm caches and thread pools
+            let report = solver.run(steps).expect("measured run");
+            report.wall.as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+struct Row {
+    solver: &'static str,
+    bare_s: f64,
+    supervised_s: f64,
+}
+
+impl Row {
+    fn overhead_percent(&self) -> f64 {
+        100.0 * (self.supervised_s - self.bare_s) / self.bare_s
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps: u64 = args.get_or("steps", 40);
+    let reps: usize = args.get_or("reps", 9);
+    let threads: usize = args.get_or("threads", 4);
+    let out: String = args.get_or("out", "BENCH_supervisor.json".to_string());
+    let config = SimulationConfig::quick_test();
+
+    println!(
+        "supervisor overhead, quick_test, {steps} steps, {reps} reps (median), {threads} threads"
+    );
+    println!("{}", lbm_ib_bench::rule(72));
+
+    let rows: Vec<Row> = ["seq", "omp", "cube", "dist"]
+        .into_iter()
+        .map(|name| Row {
+            solver: name,
+            bare_s: median_run_secs(name, config, threads, steps, reps, false),
+            supervised_s: median_run_secs(name, config, threads, steps, reps, true),
+        })
+        .collect();
+    for r in &rows {
+        println!(
+            "{:<5} bare {:>9.2} ms  supervised {:>9.2} ms  overhead {:>+6.2}%",
+            r.solver,
+            r.bare_s * 1e3,
+            r.supervised_s * 1e3,
+            r.overhead_percent()
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is offline: no serde).
+    let solver_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"solver\": \"{}\", \"bare_s\": {:e}, \"supervised_s\": {:e}, \"overhead_percent\": {:.3}}}",
+                r.solver,
+                r.bare_s,
+                r.supervised_s,
+                r.overhead_percent()
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"supervisor_overhead\",\n",
+            "  \"steps\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"solvers\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        steps,
+        reps,
+        threads,
+        solver_rows.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write json");
+    println!("wrote {out}");
+}

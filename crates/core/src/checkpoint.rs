@@ -661,6 +661,23 @@ pub fn resume(path: &Path) -> Result<(SimState, ResumeSource), CheckpointError> 
     }
 }
 
+/// [`resume`], then re-apply the runtime-only choices a checkpoint does
+/// not carry (kernel plan, watchdog cadence, halo timeout — see
+/// [`read_checkpoint`]'s reset) from `runtime`. This is the rollback used
+/// by the [`crate::supervisor::Supervisor`]: the restored state must
+/// replay under the *same* runtime configuration as the failed attempt,
+/// or the healed run would not be bit-identical to a fault-free one.
+pub fn resume_with_runtime(
+    path: &Path,
+    runtime: &crate::config::SimulationConfig,
+) -> Result<(SimState, ResumeSource), CheckpointError> {
+    let (mut state, source) = resume(path)?;
+    state.config.plan = runtime.plan;
+    state.config.watchdog = runtime.watchdog;
+    state.config.halo_timeout = runtime.halo_timeout;
+    Ok((state, source))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

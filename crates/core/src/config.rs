@@ -131,6 +131,50 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Policy driving the self-healing [`crate::supervisor::Supervisor`]:
+/// how many times to retry a failing backend/mesh rung, how long to back
+/// off between attempts, and whether to degrade (shrink the thread mesh,
+/// fall back across backends) when the same rung keeps failing. Not part
+/// of [`SimulationConfig`]: recovery is a runtime choice, like the
+/// watchdog cadence, and never enters the checkpointed physics state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Failures tolerated on one rung (a fixed backend + thread mesh)
+    /// before the ladder escalates — or, with [`RecoveryPolicy::degrade`]
+    /// off or the ladder exhausted, before the supervisor gives up. The
+    /// total attempt budget is therefore bounded by
+    /// `retry_limit × number_of_rungs`.
+    pub retry_limit: u32,
+    /// Base delay before the first retry; doubles on every consecutive
+    /// failure (jitter-free, so healed runs stay reproducible). Zero
+    /// disables backoff entirely.
+    pub backoff: std::time::Duration,
+    /// Cap on the exponential backoff delay.
+    pub max_backoff: std::time::Duration,
+    /// Walk the degradation ladder (quarantine-shrink the cube mesh, then
+    /// cube → omp → seq across backends) when a rung's retry budget is
+    /// exhausted. Off, the supervisor retries in place and then gives up.
+    pub degrade: bool,
+    /// Disk anchor for rollback. When set, the supervisor saves a
+    /// crash-consistent checkpoint (CRC + `.prev` rotation, see
+    /// [`crate::checkpoint::save`]) after every committed chunk and rolls
+    /// back through [`crate::checkpoint::resume`]; when `None`, rollback
+    /// uses the in-memory last-good snapshot only.
+    pub checkpoint: Option<std::path::PathBuf>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            retry_limit: 3,
+            backoff: std::time::Duration::from_millis(100),
+            max_backoff: std::time::Duration::from_secs(5),
+            degrade: true,
+            checkpoint: None,
+        }
+    }
+}
+
 /// Execution schedule for kernels 5 and 6. `Split` runs collision and
 /// streaming as two full-grid passes (the paper's Algorithm 1); `Fused`
 /// collides in registers and pushes straight into `f_new` in one sweep

@@ -207,6 +207,16 @@ impl CubeSolver {
         }
     }
 
+    /// Like [`CubeSolver::from_state`] but returns an error instead of
+    /// panicking on a zero thread count or an indivisible grid.
+    pub fn try_from_state(state: SimState, n_threads: usize) -> Result<Self, SolverError> {
+        if n_threads == 0 {
+            return Err(SolverError::ZeroThreads);
+        }
+        state.config.validate()?;
+        Ok(Self::from_state(state, n_threads))
+    }
+
     /// Number of worker threads.
     pub fn n_threads(&self) -> usize {
         self.n_threads
@@ -429,6 +439,7 @@ impl CubeSolver {
             steps: n_steps,
             wall,
             telemetry: registry.map(|r| r.snapshot("cube", n_steps, wall.as_secs_f64())),
+            recovery: None,
         })
     }
 }

@@ -48,6 +48,24 @@ enum RankFault {
     Timeout { peer: usize },
     /// The channel to/from `peer` is disconnected (peer thread gone).
     PeerGone { peer: usize },
+    /// The rank's step loop panicked; caught inside the rank thread so
+    /// the slab comes back (contents unspecified mid-step) and the panic
+    /// surfaces as [`SolverError::WorkerPanicked`] instead of unwinding
+    /// through `join`.
+    Panicked,
+}
+
+impl RankFault {
+    /// Root-cause ordering for multi-rank faults: a panic names the rank
+    /// that actually died, a timeout names the rank that first saw the
+    /// silence, and disconnects are the cascade everyone else observes.
+    fn severity(&self) -> u8 {
+        match self {
+            RankFault::Panicked => 2,
+            RankFault::Timeout { .. } => 1,
+            RankFault::PeerGone { .. } => 0,
+        }
+    }
 }
 
 /// Everything one rank owns. `f` carries two ghost planes (local plane 0 =
@@ -71,6 +89,31 @@ struct RankData {
     fx: Vec<f64>,
     fy: Vec<f64>,
     fz: Vec<f64>,
+}
+
+impl RankData {
+    /// A structurally valid slab of zeros for `w` planes at `x0` — the
+    /// replacement for a slab lost to a panic that escaped the rank
+    /// thread's catch. Physically garbage, but it keeps the solver's
+    /// "contents unspecified mid-step" failure contract intact.
+    fn zeroed(x0: usize, w: usize, plane: usize) -> Self {
+        Self {
+            x0,
+            w,
+            f: vec![0.0; (w + 2) * plane * Q],
+            f_new: vec![0.0; w * plane * Q],
+            rho: vec![0.0; w * plane],
+            ux: vec![0.0; w * plane],
+            uy: vec![0.0; w * plane],
+            uz: vec![0.0; w * plane],
+            ueqx: vec![0.0; w * plane],
+            ueqy: vec![0.0; w * plane],
+            ueqz: vec![0.0; w * plane],
+            fx: vec![0.0; w * plane],
+            fy: vec![0.0; w * plane],
+            fz: vec![0.0; w * plane],
+        }
+    }
 }
 
 /// Messages exchanged between ranks.
@@ -125,7 +168,7 @@ pub struct DistributedSolver {
     pub sheet: FiberSheet,
     tethers: TetherSet,
     pub step: u64,
-    /// When true, [`DistributedSolver::run`] attaches per-rank telemetry
+    /// When true, [`DistributedSolver::try_run`] attaches per-rank telemetry
     /// (kernel section times plus blocking-receive wait) to its report.
     pub telemetry_enabled: bool,
 }
@@ -208,6 +251,24 @@ impl DistributedSolver {
         }
     }
 
+    /// Like [`DistributedSolver::from_state`] but returns an error instead
+    /// of panicking on a non-periodic x axis or a bad rank count.
+    pub fn try_from_state(state: SimState, n_ranks: usize) -> Result<Self, SolverError> {
+        if !state.config.bc.x.is_periodic() {
+            return Err(SolverError::NonPeriodicX);
+        }
+        if n_ranks == 0 {
+            return Err(SolverError::ZeroThreads);
+        }
+        if n_ranks > state.config.nx {
+            return Err(SolverError::TooManyRanks {
+                ranks: n_ranks,
+                nx: state.config.nx,
+            });
+        }
+        Ok(Self::from_state(state, n_ranks))
+    }
+
     /// Number of ranks.
     pub fn n_ranks(&self) -> usize {
         self.n_ranks
@@ -251,20 +312,13 @@ impl DistributedSolver {
         }
     }
 
-    /// Runs `n_steps`, spawning one thread per rank connected by channels.
-    /// Reports steps and wall time. Panics on a communication fault; use
-    /// [`DistributedSolver::try_run`] to get the typed error instead.
-    pub fn run(&mut self, n_steps: u64) -> RunReport {
-        self.try_run(n_steps)
-            .expect("distributed rank failed (try_run surfaces this as a value)")
-    }
-
     /// Runs `n_steps`, surfacing communication faults as typed errors:
     /// with [`SimulationConfig::halo_timeout`] set, a rank that waits
     /// longer than the timeout on a halo plane or on the velocity
     /// reduction returns [`SolverError::HaloTimeout`]; a disconnected peer
-    /// returns [`SolverError::RankDisconnected`]. On a fault every rank
-    /// unwinds at its next receive (its peers stop sending, so the
+    /// returns [`SolverError::RankDisconnected`]; a rank whose step loop
+    /// panics returns [`SolverError::WorkerPanicked`]. On a fault every
+    /// rank unwinds at its next receive (its peers stop sending, so the
     /// timeout cascades), the slab and sheet buffers are restored
     /// (contents unspecified mid-step), and the step counter is left
     /// where the last *completed* call put it.
@@ -280,6 +334,10 @@ impl DistributedSolver {
         let fabric = Fabric::new(n);
 
         let ranks = std::mem::take(&mut self.ranks);
+        // Slab layouts survive the move so a rank lost to an escaped panic
+        // can be rebuilt as a structurally valid (zeroed) slab below.
+        let layouts: Vec<(usize, usize)> = ranks.iter().map(|r| (r.x0, r.w)).collect();
+        let plane = config.dims().ny * config.dims().nz;
         let registry = self.telemetry_enabled.then(|| MetricsRegistry::new(n));
         if let Some(registry) = &registry {
             // "cubes" for a rank are its owned x-planes; the sheet is
@@ -313,7 +371,20 @@ impl DistributedSolver {
                 drop(tx_mesh);
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("rank panicked"))
+                    .enumerate()
+                    .map(|(id, h)| match h.join() {
+                        Ok(result) => result,
+                        // `rank_main` catches unwinds, so a failed join
+                        // means the panic escaped the catch (e.g. from a
+                        // Drop). The slab is gone; hand back a zeroed one
+                        // so the solver stays structurally valid, and
+                        // surface the typed fault instead of panicking.
+                        Err(_) => (
+                            RankData::zeroed(layouts[id].0, layouts[id].1, plane),
+                            sheet_template.clone(),
+                            Err(RankFault::Panicked),
+                        ),
+                    })
                     .collect()
             });
 
@@ -330,28 +401,30 @@ impl DistributedSolver {
                 sheet_out = Some(sheet);
             }
             if let Err(f) = res {
-                // Prefer a timeout over the disconnects it cascades into:
-                // the timeout names the rank that first saw the silence.
-                let replace = matches!(
-                    (&fault, &f),
-                    (None, _)
-                        | (
-                            Some((_, RankFault::PeerGone { .. })),
-                            RankFault::Timeout { .. }
-                        )
-                );
-                if replace {
+                // Keep the most root-cause fault: a panic over the timeout
+                // it causes, a timeout over the disconnects it cascades
+                // into (see [`RankFault::severity`]).
+                if fault
+                    .as_ref()
+                    .is_none_or(|(_, held)| f.severity() > held.severity())
+                {
                     fault = Some((id, f));
                 }
             }
         }
         self.ranks = new_ranks;
-        self.sheet = sheet_out.expect("at least one rank");
+        // Every rank hands its sheet back even on the failure path; the
+        // template only remains if a panic escaped `rank_main`'s catch.
+        self.sheet = sheet_out.unwrap_or(sheet_template);
 
         if let Some((rank, f)) = fault {
             return Err(match f {
                 RankFault::Timeout { peer } => SolverError::HaloTimeout { rank, peer },
                 RankFault::PeerGone { peer } => SolverError::RankDisconnected { rank, peer },
+                RankFault::Panicked => SolverError::WorkerPanicked {
+                    thread: rank,
+                    phase: "rank-step",
+                },
             });
         }
         self.step += n_steps;
@@ -360,6 +433,7 @@ impl DistributedSolver {
             steps: n_steps,
             wall,
             telemetry: registry.map(|r| r.snapshot("dist", n_steps, wall.as_secs_f64())),
+            recovery: None,
         })
     }
 }
@@ -405,9 +479,17 @@ fn rank_main(
     rx: &[Receiver<Msg>],
     slot: Option<&ThreadSlot>,
 ) -> (RankData, FiberSheet, Result<(), RankFault>) {
-    let res = rank_steps(
-        id, n_ranks, &mut rank, &mut sheet, &tethers, config, n_steps, &tx, rx, slot,
-    );
+    // Catch a panicking step loop inside the rank thread: the slab and
+    // sheet come back (contents unspecified mid-step, same contract as a
+    // communication fault), the panic surfaces as a typed fault, and
+    // returning drops `tx` so peers observe the disconnect and unwind
+    // instead of waiting out their full timeout.
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rank_steps(
+            id, n_ranks, &mut rank, &mut sheet, &tethers, config, n_steps, &tx, rx, slot,
+        )
+    }))
+    .unwrap_or(Err(RankFault::Panicked));
     (rank, sheet, res)
 }
 
@@ -799,7 +881,7 @@ mod tests {
         seq.run(8);
         for ranks in [1, 2, 3, 4] {
             let mut dist = DistributedSolver::new(cfg, ranks);
-            dist.run(8);
+            dist.try_run(8).unwrap();
             let d = compare_states(&seq.state, &dist.to_state());
             assert!(d.within(1e-11), "{ranks} ranks: {d:?}");
         }
@@ -809,10 +891,10 @@ mod tests {
     fn split_runs_continue_exactly() {
         let cfg = SimulationConfig::quick_test();
         let mut once = DistributedSolver::new(cfg, 3);
-        once.run(6);
+        once.try_run(6).unwrap();
         let mut twice = DistributedSolver::new(cfg, 3);
-        twice.run(3);
-        twice.run(3);
+        twice.try_run(3).unwrap();
+        twice.try_run(3).unwrap();
         let d = compare_states(&once.to_state(), &twice.to_state());
         assert!(d.within(1e-12), "{d:?}");
         assert_eq!(once.step, twice.step);
@@ -825,9 +907,9 @@ mod tests {
         fused_cfg.plan = KernelPlan::Fused;
         for ranks in [1, 2, 3, 4] {
             let mut split = DistributedSolver::new(cfg, ranks);
-            let split_report = split.run(8);
+            let split_report = split.try_run(8).unwrap();
             let mut fused = DistributedSolver::new(fused_cfg, ranks);
-            let fused_report = fused.run(8);
+            let fused_report = fused.try_run(8).unwrap();
             assert_eq!(split_report.steps, 8);
             assert_eq!(fused_report.steps, 8);
             let s = split.to_state();

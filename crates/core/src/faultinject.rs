@@ -48,6 +48,13 @@ pub enum HaloFault {
 }
 
 /// Everything a chaos test wants to go wrong, in one armed plan.
+///
+/// Failpoints model *transient* faults by default: the panic, NaN and
+/// dropped-halo triggers are consumed the first time they fire, so a
+/// supervisor that rolls back and replays the same steps sails past the
+/// fault on the retry (the checkpoint fault was always one-shot). Set
+/// [`FaultPlan::sticky`] to keep a trigger armed across retries and model
+/// a *persistent* fault — the case the degradation ladder exists for.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     pub panic_at: Option<PanicAt>,
@@ -57,6 +64,9 @@ pub struct FaultPlan {
     /// One-shot: consumed by the first checkpoint save after arming.
     pub checkpoint: Option<CheckpointFault>,
     pub halo: Option<HaloFault>,
+    /// Keep the panic/NaN/halo-drop triggers armed after they fire
+    /// (persistent fault) instead of consuming them (transient fault).
+    pub sticky: bool,
 }
 
 #[cfg(feature = "faultinject")]
@@ -96,18 +106,41 @@ mod imp {
     }
 
     pub fn maybe_panic(thread: usize, step: u64, phase: &'static str) {
-        if let Some(FaultPlan {
-            panic_at: Some(p), ..
-        }) = plan()
-        {
-            if p.thread == thread && p.step == step && p.phase == phase {
-                panic!("fault injected: thread {thread} panics at step {step} in {phase}");
+        // Match and (unless sticky) consume under one lock so exactly one
+        // worker fires; the lock is released before the panic unwinds.
+        let fire = {
+            let mut guard = lock(&PLAN);
+            match guard.as_mut() {
+                Some(plan) => match plan.panic_at {
+                    Some(p) if p.thread == thread && p.step == step && p.phase == phase => {
+                        if !plan.sticky {
+                            plan.panic_at = None;
+                        }
+                        true
+                    }
+                    _ => false,
+                },
+                None => false,
             }
+        };
+        if fire {
+            panic!("fault injected: thread {thread} panics at step {step} in {phase}");
         }
     }
 
-    pub fn nan_injection_step() -> Option<u64> {
-        plan().and_then(|p| p.nan_at_step)
+    /// True when a NaN should be injected at the end of `step`; consumes
+    /// the trigger unless the plan is sticky.
+    pub fn take_nan_at(step: u64) -> bool {
+        let mut guard = lock(&PLAN);
+        match guard.as_mut() {
+            Some(plan) if plan.nan_at_step == Some(step) => {
+                if !plan.sticky {
+                    plan.nan_at_step = None;
+                }
+                true
+            }
+            _ => false,
+        }
     }
 
     pub fn corrupt_checkpoint_file(path: &Path) -> std::io::Result<()> {
@@ -141,11 +174,22 @@ mod imp {
         Ok(())
     }
 
+    /// True when rank `from` should drop its outgoing halo planes this
+    /// step; consumes the trigger unless the plan is sticky.
     pub fn drop_halo_send(from: usize) -> bool {
-        matches!(
-            plan().and_then(|p| p.halo),
-            Some(HaloFault::DropSend { from: f }) if f == from
-        )
+        let mut guard = lock(&PLAN);
+        match guard.as_mut() {
+            Some(plan) => match plan.halo {
+                Some(HaloFault::DropSend { from: f }) if f == from => {
+                    if !plan.sticky {
+                        plan.halo = None;
+                    }
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
     }
 
     pub fn halo_send_delay(from: usize) -> Option<Duration> {
@@ -161,7 +205,7 @@ pub use imp::{arm, Armed};
 
 #[cfg(feature = "faultinject")]
 pub(crate) use imp::{
-    corrupt_checkpoint_file, drop_halo_send, halo_send_delay, maybe_panic, nan_injection_step,
+    corrupt_checkpoint_file, drop_halo_send, halo_send_delay, maybe_panic, take_nan_at,
 };
 
 // ---------------------------------------------------------------------------
@@ -177,8 +221,8 @@ mod stubs {
     pub(crate) fn maybe_panic(_thread: usize, _step: u64, _phase: &'static str) {}
 
     #[inline(always)]
-    pub(crate) fn nan_injection_step() -> Option<u64> {
-        None
+    pub(crate) fn take_nan_at(_step: u64) -> bool {
+        false
     }
 
     #[inline(always)]

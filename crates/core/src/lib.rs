@@ -52,6 +52,7 @@ pub mod sequential;
 pub mod sharedgrid;
 pub mod solver;
 pub mod state;
+pub mod supervisor;
 pub mod sync_shim;
 pub mod telemetry;
 pub mod threadpool;
@@ -60,7 +61,8 @@ pub mod verify;
 
 pub use checkpoint::{CheckpointError, ResumeSource};
 pub use config::{
-    ConfigError, KernelPlan, SheetConfig, SimulationConfig, TetherConfig, WatchdogConfig,
+    ConfigError, KernelPlan, RecoveryPolicy, SheetConfig, SimulationConfig, TetherConfig,
+    WatchdogConfig,
 };
 pub use cube::CubeSolver;
 pub use distributed::DistributedSolver;
@@ -71,4 +73,5 @@ pub use solver::{
     build_solver, run_with_checkpoints, CheckpointPolicy, RunReport, Solver, SolverError,
 };
 pub use state::SimState;
+pub use supervisor::{metrics_document, RecoveryAction, RecoveryEvent, RecoveryReport, Supervisor};
 pub use telemetry::{MetricsRegistry, RunTelemetry, ThreadTelemetry, Watchdog};

@@ -30,7 +30,7 @@ use lbm::macroscopic::node_moments_shifted;
 use crate::atomicf64::{as_atomic_f64, AtomicF64};
 use crate::config::KernelPlan;
 use crate::profiling::{ImbalanceTracker, KernelId, KernelProfile};
-use crate::solver::RunReport;
+use crate::solver::{RunReport, SolverError};
 use crate::state::SimState;
 use crate::telemetry::MetricsRegistry;
 use crate::threadpool::{current_thread_index, ThreadPool};
@@ -159,6 +159,15 @@ impl OpenMpSolver {
             pool,
             n_threads,
         }
+    }
+
+    /// Like [`OpenMpSolver::from_state`] but returns an error instead of
+    /// panicking on a zero thread count.
+    pub fn try_from_state(state: SimState, n_threads: usize) -> Result<Self, SolverError> {
+        if n_threads == 0 {
+            return Err(SolverError::ZeroThreads);
+        }
+        Ok(Self::from_state(state, n_threads))
     }
 
     /// Number of worker threads.

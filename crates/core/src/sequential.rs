@@ -72,7 +72,7 @@ impl SequentialSolver {
         });
         // Chaos-test failpoint (empty unless the `faultinject` feature is
         // on): poison the state so the watchdog path is exercised.
-        if crate::faultinject::nan_injection_step() == Some(s.step) {
+        if crate::faultinject::take_nan_at(s.step) {
             s.fluid.ux[0] = f64::NAN;
         }
         s.step += 1;
@@ -104,6 +104,7 @@ impl SequentialSolver {
             steps: n,
             wall,
             telemetry,
+            recovery: None,
         }
     }
 }

@@ -29,6 +29,10 @@ pub struct RunReport {
     pub wall: Duration,
     /// Per-thread telemetry, present when collection was enabled.
     pub telemetry: Option<RunTelemetry>,
+    /// Recovery events, present when the run went through a
+    /// [`crate::supervisor::Supervisor`] (empty-event reports mean the
+    /// supervisor was on but never had to intervene).
+    pub recovery: Option<crate::supervisor::RecoveryReport>,
 }
 
 impl RunReport {
@@ -42,12 +46,18 @@ impl RunReport {
         }
     }
 
-    /// Merges a subsequent report into this one (telemetry included).
+    /// Merges a subsequent report into this one (telemetry and recovery
+    /// events included).
     pub fn merge(&mut self, other: RunReport) {
         self.steps += other.steps;
         self.wall += other.wall;
         match (&mut self.telemetry, other.telemetry) {
             (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
+        match (&mut self.recovery, other.recovery) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
             (mine @ None, theirs @ Some(_)) => *mine = theirs,
             _ => {}
         }
@@ -283,7 +293,8 @@ impl Solver for DistributedSolver {
         "dist"
     }
     fn step(&mut self) {
-        DistributedSolver::run(self, 1);
+        DistributedSolver::try_run(self, 1)
+            .expect("distributed rank failed (use try_run for the typed error)");
     }
     fn run(&mut self, n: u64) -> Result<RunReport, SolverError> {
         let watchdog = self.config.watchdog;
@@ -318,58 +329,6 @@ pub fn build_solver(
         "cube" => Ok(Box::new(CubeSolver::try_from_state(state, threads)?)),
         "dist" => Ok(Box::new(DistributedSolver::try_from_state(state, threads)?)),
         other => Err(SolverError::UnknownSolver(other.to_string())),
-    }
-}
-
-impl SimState {
-    /// Like [`SimState::new`] but returns the validation problem instead
-    /// of panicking.
-    pub fn try_new(config: crate::config::SimulationConfig) -> Result<Self, ConfigError> {
-        config.validate()?;
-        Ok(Self::new(config))
-    }
-}
-
-impl OpenMpSolver {
-    /// Like [`OpenMpSolver::from_state`] but returns an error instead of
-    /// panicking on a zero thread count.
-    pub fn try_from_state(state: SimState, n_threads: usize) -> Result<Self, SolverError> {
-        if n_threads == 0 {
-            return Err(SolverError::ZeroThreads);
-        }
-        Ok(Self::from_state(state, n_threads))
-    }
-}
-
-impl CubeSolver {
-    /// Like [`CubeSolver::from_state`] but returns an error instead of
-    /// panicking on a zero thread count or an indivisible grid.
-    pub fn try_from_state(state: SimState, n_threads: usize) -> Result<Self, SolverError> {
-        if n_threads == 0 {
-            return Err(SolverError::ZeroThreads);
-        }
-        state.config.validate()?;
-        Ok(Self::from_state(state, n_threads))
-    }
-}
-
-impl DistributedSolver {
-    /// Like [`DistributedSolver::from_state`] but returns an error instead
-    /// of panicking on a non-periodic x axis or a bad rank count.
-    pub fn try_from_state(state: SimState, n_ranks: usize) -> Result<Self, SolverError> {
-        if !state.config.bc.x.is_periodic() {
-            return Err(SolverError::NonPeriodicX);
-        }
-        if n_ranks == 0 {
-            return Err(SolverError::ZeroThreads);
-        }
-        if n_ranks > state.config.nx {
-            return Err(SolverError::TooManyRanks {
-                ranks: n_ranks,
-                nx: state.config.nx,
-            });
-        }
-        Ok(Self::from_state(state, n_ranks))
     }
 }
 
@@ -420,7 +379,7 @@ pub(crate) fn timed_steps(n: u64, mut step: impl FnMut()) -> RunReport {
     RunReport {
         steps: n,
         wall: t0.elapsed(),
-        telemetry: None,
+        ..Default::default()
     }
 }
 
@@ -493,17 +452,6 @@ mod tests {
     }
 
     #[test]
-    fn try_new_reports_instead_of_panicking() {
-        let mut c = SimulationConfig::quick_test();
-        c.tau = 0.2;
-        assert!(matches!(
-            SimState::try_new(c),
-            Err(ConfigError::InvalidTau { .. })
-        ));
-        assert!(SimState::try_new(SimulationConfig::quick_test()).is_ok());
-    }
-
-    #[test]
     fn trait_object_steps_match_inherent_run() {
         let config = SimulationConfig::quick_test();
         let mut by_steps = build_solver("seq", SimState::new(config), 1).unwrap();
@@ -523,13 +471,13 @@ mod tests {
         let mut r = RunReport {
             steps: 10,
             wall: Duration::from_secs(2),
-            telemetry: None,
+            ..Default::default()
         };
         assert_eq!(r.steps_per_second(), 5.0);
         r.merge(RunReport {
             steps: 5,
             wall: Duration::from_secs(1),
-            telemetry: None,
+            ..Default::default()
         });
         assert_eq!(r.steps, 15);
         assert_eq!(r.wall, Duration::from_secs(3));

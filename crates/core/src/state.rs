@@ -7,7 +7,7 @@ use ib::tether::TetherSet;
 use lbm::grid::FluidGrid;
 use lbm::macroscopic::initialize_equilibrium;
 
-use crate::config::SimulationConfig;
+use crate::config::{ConfigError, SimulationConfig};
 
 /// Coupled simulation state in the flat (node-major) layout used by the
 /// sequential and OpenMP-style solvers. The cube solver converts to/from
@@ -24,20 +24,27 @@ pub struct SimState {
 
 impl SimState {
     /// Builds the initial state: fluid at rest at unit density, sheet flat
-    /// at its configured position. Panics on an invalid configuration
-    /// (call [`SimulationConfig::validate`] first for a soft error).
+    /// at its configured position. Panics on an invalid configuration —
+    /// use [`SimState::try_new`] to get the validation problem as a value.
     pub fn new(config: SimulationConfig) -> Self {
-        config.validate().expect("invalid simulation configuration");
+        Self::try_new(config).expect("invalid simulation configuration")
+    }
+
+    /// Like [`SimState::new`] but returns the validation problem instead
+    /// of panicking. Every library and CLI construction path routes
+    /// through here; only `new` converts the error into a panic.
+    pub fn try_new(config: SimulationConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let mut fluid = FluidGrid::new(config.dims());
         initialize_equilibrium(&mut fluid, |_, _, _| 1.0, |_, _, _| [0.0; 3]);
         let (sheet, tethers) = config.sheet.build();
-        Self {
+        Ok(Self {
             config,
             fluid,
             sheet,
             tethers,
             step: 0,
-        }
+        })
     }
 
     /// True if any fluid or structure value has gone non-finite.
@@ -71,6 +78,17 @@ mod tests {
         let mut c = SimulationConfig::quick_test();
         c.tau = 0.1;
         SimState::new(c);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let mut c = SimulationConfig::quick_test();
+        c.tau = 0.2;
+        assert!(matches!(
+            SimState::try_new(c),
+            Err(ConfigError::InvalidTau { .. })
+        ));
+        assert!(SimState::try_new(SimulationConfig::quick_test()).is_ok());
     }
 
     #[test]

@@ -301,6 +301,15 @@ impl RunTelemetry {
     /// in the workspace; numbers use Rust's shortest-round-trip `Debug`
     /// float form, which is valid JSON; non-finite values become `null`).
     pub fn to_json(&self) -> String {
+        self.to_json_with_sections(&[])
+    }
+
+    /// [`RunTelemetry::to_json`] with extra top-level `"name": <value>`
+    /// sections appended before the closing brace. Each value must already
+    /// be serialised JSON — this is how the CLI composes the `--metrics`
+    /// document out of the telemetry snapshot and the supervisor's
+    /// recovery block without a serde dependency.
+    pub fn to_json_with_sections(&self, sections: &[(&str, String)]) -> String {
         let totals = self.kernel_totals();
         let total_busy: f64 = totals.iter().sum();
         let mut out = String::with_capacity(2048);
@@ -357,7 +366,11 @@ impl RunTelemetry {
                 if t + 1 < self.per_thread.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        for (name, value) in sections {
+            out.push_str(&format!(",\n  \"{name}\": {value}"));
+        }
+        out.push_str("\n}\n");
         out
     }
 }

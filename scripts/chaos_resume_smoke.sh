@@ -11,6 +11,11 @@
 # 3. Run the same simulation fresh and uninterrupted to the same target.
 # 4. The two final checkpoints must be byte-identical: resume is bit-exact,
 #    not merely approximately right.
+#
+# With `--supervise` (or SUPERVISE=1) both the killed run and the resumed
+# run go through the self-healing supervisor, which then owns the periodic
+# checkpoint commits and the rollback anchor — proving supervised runs
+# survive kill -9 with the same byte-exactness as bare ones.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +24,13 @@ SOLVER=${SOLVER:-cube}
 THREADS=${THREADS:-4}
 EVERY=${EVERY:-25}
 BIN=${LBMIB_BIN:-target/release/lbmib}
+SUPERVISE=${SUPERVISE:-0}
+[ "${1:-}" = "--supervise" ] && SUPERVISE=1
+SUP_FLAGS=()
+if [ "$SUPERVISE" = 1 ]; then
+    SUP_FLAGS=(--supervise --backoff-ms 1)
+    echo "running the kill -9 smoke under --supervise"
+fi
 
 [ -x "$BIN" ] || cargo build --release --bin lbmib
 
@@ -29,6 +41,7 @@ trap '[ -n "$BG" ] && kill -9 "$BG" 2>/dev/null; rm -rf "$DIR"' EXIT
 "$BIN" --preset quick --solver "$SOLVER" --threads "$THREADS" \
     --steps 100000000 --report-every "$EVERY" \
     --checkpoint-every "$EVERY" --checkpoint-path "$DIR/crash.ckpt" \
+    ${SUP_FLAGS[@]+"${SUP_FLAGS[@]}"} \
     >"$DIR/crash.log" 2>&1 &
 BG=$!
 
@@ -51,7 +64,8 @@ T=$((S + 40))
 echo "killed run survived at step $S; driving both runs to step $T"
 
 "$BIN" --resume "$DIR/crash.ckpt" --solver "$SOLVER" --threads "$THREADS" \
-    --steps 40 --report-every 40 --save "$DIR/final_resumed.ckpt" >/dev/null
+    --steps 40 --report-every 40 --save "$DIR/final_resumed.ckpt" \
+    ${SUP_FLAGS[@]+"${SUP_FLAGS[@]}"} >/dev/null
 
 "$BIN" --preset quick --solver "$SOLVER" --threads "$THREADS" \
     --steps "$T" --report-every "$T" --save "$DIR/final_fresh.ckpt" >/dev/null

@@ -13,6 +13,8 @@
 //!       [--metrics FILE] [--watchdog-every N]
 //!       [--checkpoint-every N] [--checkpoint-path FILE]
 //!       [--halo-timeout-ms MS]
+//!       [--supervise] [--retry-limit N] [--backoff-ms MS]
+//!       [--max-backoff-ms MS] [--degrade on|off]
 //! ```
 //!
 //! Examples:
@@ -28,6 +30,10 @@
 //! lbmib --resume run.ckpt --steps 600 --checkpoint-every 50 \
 //!       --checkpoint-path run.ckpt           # survive kill -9 mid-run
 //! lbmib --solver dist --halo-timeout-ms 5000 # bound halo-exchange waits
+//! lbmib --preset quick --supervise           # self-healing run
+//! lbmib --supervise --retry-limit 5 --backoff-ms 250 --degrade off
+//! lbmib --supervise --checkpoint-every 50 --checkpoint-path run.ckpt \
+//!       --metrics run.json                   # disk rollback + recovery JSON
 //! ```
 //!
 //! Periodic checkpoints are crash-consistent: each save goes to a temp
@@ -35,6 +41,21 @@
 //! with the previous good save rotated to `<path>.prev`. `--resume` falls
 //! back to `.prev` automatically if the primary file is torn or corrupt,
 //! and a resumed run reproduces the uninterrupted run bit for bit.
+//!
+//! `--supervise` wraps the chosen solver in [`lbm_ib::Supervisor`]: typed
+//! solver failures roll the run back to the last good chunk boundary
+//! (through the on-disk checkpoint when `--checkpoint-path` is set) and
+//! retry with deterministic exponential backoff; when the same failure
+//! keeps recurring the run degrades gracefully — a panicking cube worker
+//! is quarantined by shrinking the thread mesh, then the backend falls
+//! back `dist → cube → omp → seq`. Every intervention lands in the
+//! `recovery` block of the `--metrics` JSON.
+//!
+//! Builds with `--features faultinject` additionally accept
+//! `--fault-panic T:S:PHASE`, `--fault-nan-step N`,
+//! `--fault-halo-drop RANK` and `--fault-sticky` to arm failpoints from
+//! the command line — the recovery smoke jobs use these to prove the
+//! supervisor heals a mid-run fault.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -50,6 +71,46 @@ use lbm_ib_bench::Args;
 fn die(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1);
+}
+
+/// Arms the fault-injection failpoints requested on the command line and
+/// returns the guard that keeps them live for the whole run.
+#[cfg(feature = "faultinject")]
+fn arm_faults(args: &Args) -> Option<lbm_ib::faultinject::Armed> {
+    use lbm_ib::faultinject::{FaultPlan, HaloFault, PanicAt};
+    let mut plan = FaultPlan::default();
+    if let Some(spec) = args.get::<String>("fault-panic") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [thread, step, phase] = parts[..] else {
+            die(format!(
+                "--fault-panic expects THREAD:STEP:PHASE, got '{spec}'"
+            ));
+        };
+        let phase = lbm_ib::cube::WORKER_PHASES
+            .into_iter()
+            .find(|p| *p == phase)
+            .unwrap_or_else(|| {
+                die(format!(
+                    "unknown phase '{phase}' (expected one of {:?})",
+                    lbm_ib::cube::WORKER_PHASES
+                ))
+            });
+        plan.panic_at = Some(PanicAt {
+            thread: thread
+                .parse()
+                .unwrap_or_else(|e| die(format!("--fault-panic thread: {e}"))),
+            step: step
+                .parse()
+                .unwrap_or_else(|e| die(format!("--fault-panic step: {e}"))),
+            phase,
+        });
+    }
+    plan.nan_at_step = args.get("fault-nan-step");
+    if let Some(rank) = args.get::<usize>("fault-halo-drop") {
+        plan.halo = Some(HaloFault::DropSend { from: rank });
+    }
+    plan.sticky = args.flag("fault-sticky");
+    (plan != FaultPlan::default()).then(|| lbm_ib::faultinject::arm(plan))
 }
 
 fn build_config(args: &Args) -> SimulationConfig {
@@ -169,7 +230,10 @@ fn main() {
     );
 
     let metrics_path: Option<PathBuf> = args.get::<String>("metrics").map(PathBuf::from);
-    let mut initial_state = resumed_state.unwrap_or_else(|| SimState::new(config));
+    let mut initial_state = match resumed_state {
+        Some(s) => s,
+        None => SimState::try_new(config).unwrap_or_else(|e| die(e)),
+    };
     initial_state.config.plan = config.plan; // resumed checkpoints default to Split
     if let Some(every) = args.get::<u64>("watchdog-every") {
         initial_state.config.watchdog = Some(lbm_ib::WatchdogConfig { check_every: every });
@@ -180,22 +244,9 @@ fn main() {
     if initial_state.step > 0 {
         println!("resumed at step {}", initial_state.step);
     }
-    let mut solver: Box<dyn Solver> =
-        build_solver(&solver_name, initial_state, threads).unwrap_or_else(|e| die(e));
-    if metrics_path.is_some() {
-        solver.set_telemetry(true);
-    }
 
-    let out_dir: Option<PathBuf> = args.get::<String>("out").map(PathBuf::from);
-    let mut traj = out_dir.as_ref().map(|dir| {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(format!("create output dir: {e}")));
-        let mut w = BufWriter::new(
-            File::create(dir.join("trajectory.csv"))
-                .unwrap_or_else(|e| die(format!("create trajectory.csv: {e}"))),
-        );
-        trajectory_header(&mut w).unwrap_or_else(|e| die(format!("write trajectory.csv: {e}")));
-        w
-    });
+    #[cfg(feature = "faultinject")]
+    let _armed = arm_faults(&args);
 
     // Periodic crash-consistent checkpointing. `--checkpoint-every` alone
     // saves to `lbmib.ckpt`; `--checkpoint-path` alone saves once, at the
@@ -210,6 +261,43 @@ fn main() {
         (None, Some(p)) => Some((steps.max(1), PathBuf::from(p))),
         (None, None) => None,
     };
+
+    let supervise = args.flag("supervise");
+    let mut solver: Box<dyn Solver> = if supervise {
+        let policy = lbm_ib::RecoveryPolicy {
+            retry_limit: args.get_or("retry-limit", 3),
+            backoff: std::time::Duration::from_millis(args.get_or("backoff-ms", 100)),
+            max_backoff: std::time::Duration::from_millis(args.get_or("max-backoff-ms", 5000)),
+            degrade: match args.get::<String>("degrade").as_deref() {
+                Some("off") => false,
+                Some("on") | None => true,
+                Some(other) => die(format!("unknown --degrade '{other}' (expected on|off)")),
+            },
+            // The supervisor owns the checkpoint file: it commits a save
+            // after every successful chunk and rolls back through it.
+            checkpoint: ckpt.as_ref().map(|(_, path)| path.clone()),
+        };
+        Box::new(
+            lbm_ib::Supervisor::new(&solver_name, initial_state, threads, policy)
+                .unwrap_or_else(|e| die(e)),
+        )
+    } else {
+        build_solver(&solver_name, initial_state, threads).unwrap_or_else(|e| die(e))
+    };
+    if metrics_path.is_some() {
+        solver.set_telemetry(true);
+    }
+
+    let out_dir: Option<PathBuf> = args.get::<String>("out").map(PathBuf::from);
+    let mut traj = out_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(format!("create output dir: {e}")));
+        let mut w = BufWriter::new(
+            File::create(dir.join("trajectory.csv"))
+                .unwrap_or_else(|e| die(format!("create trajectory.csv: {e}"))),
+        );
+        trajectory_header(&mut w).unwrap_or_else(|e| die(format!("write trajectory.csv: {e}")));
+        w
+    });
 
     let report_every: u64 = args.get_or("report-every", (steps / 10).max(1));
     let mut report = lbm_ib::RunReport::default();
@@ -235,7 +323,10 @@ fn main() {
         report.merge(chunk);
         let state = solver.to_state();
         if let Some((every, path)) = &ckpt {
-            if state.step % every == 0 || report.steps == steps {
+            // Under --supervise the supervisor already committed a save at
+            // this chunk boundary; a second save here would only rotate
+            // the identical snapshot into `.prev`.
+            if !supervise && (state.step % every == 0 || report.steps == steps) {
                 lbm_ib::checkpoint::save(&state, path)
                     .unwrap_or_else(|e| die(format!("checkpoint save: {e}")));
             }
@@ -264,19 +355,33 @@ fn main() {
         report.steps,
         report.steps as f64 * state.fluid.n() as f64 / wall / 1e6
     );
+    if let Some(rec) = &report.recovery {
+        if rec.events.is_empty() {
+            println!("supervisor: no interventions");
+        } else {
+            println!(
+                "supervisor: {} intervention(s), {} ms backoff, finished on {} with {} thread(s)",
+                rec.events.len(),
+                rec.total_backoff.as_millis(),
+                rec.final_backend,
+                rec.final_threads
+            );
+        }
+    }
 
     if let Some(path) = &metrics_path {
-        match &report.telemetry {
-            Some(t) => {
-                std::fs::write(path, t.to_json())
-                    .unwrap_or_else(|e| die(format!("write metrics file: {e}")));
+        if report.telemetry.is_some() || report.recovery.is_some() {
+            let doc = lbm_ib::metrics_document(report.telemetry.as_ref(), report.recovery.as_ref());
+            std::fs::write(path, doc).unwrap_or_else(|e| die(format!("write metrics file: {e}")));
+            if let Some(t) = &report.telemetry {
                 println!("\n{}", t.summary());
-                println!("telemetry written to {}", path.display());
             }
-            None => eprintln!(
+            println!("telemetry written to {}", path.display());
+        } else {
+            eprintln!(
                 "warning: solver produced no telemetry; {} not written",
                 path.display()
-            ),
+            );
         }
     }
     if let Some(path) = args.get::<String>("save") {

@@ -148,7 +148,7 @@ fn distributed_prototype_agrees_with_all_solvers() {
     seq.run(10);
     for ranks in [1, 2, 4, 6] {
         let mut dist = lbm_ib::DistributedSolver::new(cfg, ranks);
-        dist.run(10);
+        dist.try_run(10).unwrap();
         let d = compare_states(&seq.state, &dist.to_state());
         assert!(d.within(1e-11), "{ranks} ranks: {d:?}");
     }
@@ -162,7 +162,7 @@ fn distributed_agrees_with_tethered_sheet_under_moving_structure() {
     let mut seq = SequentialSolver::new(cfg);
     seq.run(30);
     let mut dist = lbm_ib::DistributedSolver::new(cfg, 4);
-    dist.run(30);
+    dist.try_run(30).unwrap();
     let d = compare_states(&seq.state, &dist.to_state());
     assert!(d.within(1e-10), "{d:?}");
 }

@@ -95,7 +95,7 @@ fn dist_telemetry_covers_every_rank_and_plane() {
     let c = cfg();
     let mut s = DistributedSolver::new(c, 3);
     s.telemetry_enabled = true;
-    let t = s.run(4).telemetry.expect("telemetry enabled");
+    let t = s.try_run(4).unwrap().telemetry.expect("telemetry enabled");
     assert_eq!(t.n_threads(), 3);
     // Rank "cubes" are owned x-planes; together they tile the axis.
     let planes: u64 = t.per_thread.iter().map(|th| th.cubes_owned).sum();
